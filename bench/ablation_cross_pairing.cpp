@@ -1,0 +1,45 @@
+// Ablation A8: interface pairing flexibility.  The default model reads
+// the paper's "two external interfaces (input and output)" as one
+// tester channel and a processor as one self-contained test station.
+// The alternative lets any source pair with any sink (ATE-in feeding a
+// core while a processor captures its responses, two processors
+// cooperating, ...).  This bench quantifies what that flexibility buys.
+
+#include <iostream>
+
+#include "report/experiments.hpp"
+
+int main() {
+  using namespace nocsched;
+  try {
+    const std::vector<int> counts = {0, 2, 4, 6};
+    const std::vector<std::optional<double>> fractions = {std::nullopt};
+    core::PlannerParams paired = core::PlannerParams::paper();
+    core::PlannerParams cross = paired;
+    cross.allow_cross_pairing = true;
+
+    std::cout << "Ablation: interface pairing (Leon systems, no power limit)\n\n";
+    for (const std::string& soc : itc02::builtin_names()) {
+      const report::ReuseSweep a = report::run_reuse_sweep(
+          soc, itc02::ProcessorKind::kLeon, counts, fractions, paired);
+      const report::ReuseSweep b = report::run_reuse_sweep(
+          soc, itc02::ProcessorKind::kLeon, counts, fractions, cross);
+      std::cout << soc << ":\n  procs   stations-only   cross-pairing   delta\n";
+      for (int c : counts) {
+        const auto ta = a.time_at(c, std::nullopt);
+        const auto tb = b.time_at(c, std::nullopt);
+        const double delta =
+            100.0 * (static_cast<double>(ta) - static_cast<double>(tb)) /
+            static_cast<double>(ta);
+        std::cout << "  " << report::proc_label(c) << (c == 0 ? "  " : "   ") << ta
+                  << "        " << tb << "        "
+                  << static_cast<int>(delta + (delta >= 0 ? 0.5 : -0.5)) << "%\n";
+      }
+      std::cout << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation A2: the paper orders cores by distance ("the cores closer to
+// IO ports or processors are tested first").  How much does that rule
+// cost or win against the classic list-scheduling orders?
+
+#include <iostream>
+
+#include "report/experiments.hpp"
+
+int main() {
+  using namespace nocsched;
+  try {
+    struct Policy {
+      const char* name;
+      core::PriorityPolicy policy;
+    };
+    const Policy policies[] = {
+        {"distance-first (paper)", core::PriorityPolicy::kDistanceFirst},
+        {"longest-test-first", core::PriorityPolicy::kLongestTestFirst},
+        {"shortest-test-first", core::PriorityPolicy::kShortestTestFirst},
+    };
+    const std::vector<int> counts = {0, 4, 8};
+    const std::vector<std::optional<double>> fractions = {std::nullopt,
+                                                          std::optional<double>(0.5)};
+    std::cout << "Ablation: priority policy (p93791, Leon)\n\n";
+    for (const Policy& p : policies) {
+      core::PlannerParams params = core::PlannerParams::paper();
+      params.priority = p.policy;
+      const report::ReuseSweep sweep = report::run_reuse_sweep(
+          "p93791", itc02::ProcessorKind::kLeon, counts, fractions, params);
+      std::cout << p.name << ":\n";
+      for (const report::SweepPoint& pt : sweep.points) {
+        std::cout << "  " << report::proc_label(pt.processors) << "  "
+                  << (pt.power_fraction ? "50% limit" : "no limit ") << "  " << pt.test_time
+                  << "\n";
+      }
+      std::cout << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A9: processor self-test cost.  The paper warns that
+// "complex processors require a large number of patterns to be tested,
+// and may be reused for test few times, not contributing to reduce the
+// global test time."  This bench operationalizes that remark: it scales
+// the Leon self-test pattern count by 1x / 5x / 20x on d695 and watches
+// the reuse gains erode and eventually invert.
+
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+#include "itc02/builtin.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+using namespace nocsched;
+
+// d695 + `procs` Leon cores whose self-test patterns are scaled.
+core::SystemModel scaled_system(int procs, std::uint32_t scale,
+                                const core::PlannerParams& params) {
+  itc02::Soc soc = itc02::with_processors(itc02::builtin_d695(),
+                                          itc02::ProcessorKind::kLeon, procs);
+  for (itc02::Module& m : soc.modules) {
+    if (!m.is_processor) continue;
+    for (itc02::CoreTest& t : m.tests) t.patterns *= scale;
+  }
+  itc02::validate(soc);
+  noc::Mesh mesh = core::paper_mesh("d695");
+  auto placement = core::default_placement(soc, mesh);
+  const noc::RouterId in = core::default_ate_input(mesh);
+  const noc::RouterId out = core::default_ate_output(mesh);
+  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
+                           params);
+}
+
+}  // namespace
+
+int main() {
+  try {
+    const core::PlannerParams params = core::PlannerParams::paper();
+    const core::SystemModel base =
+        core::SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 0, params);
+    const std::uint64_t baseline =
+        core::plan_tests(base, power::PowerBudget::unconstrained()).makespan;
+    std::cout << "Ablation: processor self-test cost (d695, Leon, no power limit)\n"
+              << "baseline without reuse: " << baseline << " cycles\n\n"
+              << "selftest   2proc            4proc            6proc\n";
+    for (const std::uint32_t scale : {1u, 5u, 20u}) {
+      std::cout << "x" << scale << (scale < 10 ? "        " : "       ");
+      for (const int procs : {2, 4, 6}) {
+        const core::SystemModel sys = scaled_system(procs, scale, params);
+        const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+        sim::validate_or_throw(sys, s);
+        const double red = 100.0 * (1.0 - static_cast<double>(s.makespan) /
+                                              static_cast<double>(baseline));
+        std::cout << s.makespan << " (" << static_cast<int>(red + (red >= 0 ? 0.5 : -0.5))
+                  << "%)   ";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n(the paper's caveat: once the processors' own tests dominate,\n"
+                 "adding processors stops paying off)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+// Shared driver for the three Figure 1 benches: runs one system's two
+// panels (Leon and Plasma) over the paper's processor-count and
+// power-limit grid, prints the bar panels, the raw series, and the
+// per-configuration reductions.
+
+#include <iostream>
+
+#include "core/params.hpp"
+#include "report/experiments.hpp"
+
+namespace nocsched::benchrun {
+
+inline int run_fig1(std::string_view soc_name) {
+  using itc02::ProcessorKind;
+  try {
+    const core::PlannerParams params = core::PlannerParams::paper();
+    std::cout << "Figure 1 reproduction — system " << soc_name << "\n"
+              << "(test time in NoC cycles; series as in the paper: 50% power limit / "
+                 "no power limit)\n\n";
+    for (const ProcessorKind kind : {ProcessorKind::kLeon, ProcessorKind::kPlasma}) {
+      const report::ReuseSweep sweep = report::run_paper_panel(soc_name, kind, params);
+      std::cout << report::figure_panel(sweep) << "\n";
+      std::cout << "reductions vs noproc (" << to_string(kind) << "):\n";
+      for (const report::SweepPoint& p : sweep.points) {
+        if (p.processors == 0) continue;
+        const double r = sweep.reduction_at(p.processors, p.power_fraction);
+        std::cout << "  " << report::proc_label(p.processors) << ", "
+                  << (p.power_fraction ? "50% power limit" : "no power limit   ") << " : "
+                  << static_cast<int>(r * 100.0 + (r >= 0 ? 0.5 : -0.5)) << "%\n";
+      }
+      std::cout << "\nCSV:\n" << report::sweep_csv(sweep) << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace nocsched::benchrun

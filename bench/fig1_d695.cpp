@@ -1,0 +1,5 @@
+// Figure 1, top row: d695 with 0/2/4/6 reused Leon or Plasma
+// processors on a 4x4 mesh, with and without the 50% power limit.
+#include "fig1_common.hpp"
+
+int main() { return nocsched::benchrun::run_fig1("d695"); }

@@ -1,0 +1,5 @@
+// Figure 1, bottom row: p93791 with 0/2/4/6/8 reused Leon or Plasma
+// processors on a 5x5 mesh, with and without the 50% power limit.
+#include "fig1_common.hpp"
+
+int main() { return nocsched::benchrun::run_fig1("p93791"); }

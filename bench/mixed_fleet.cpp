@@ -1,0 +1,65 @@
+// Extension A7 (beyond the paper): heterogeneous processor fleets.
+// The paper evaluates all-Leon and all-Plasma systems; a real SoC mixes
+// cores.  This bench compares all-Leon, all-Plasma and half-half fleets
+// of 4 processors on p22810.
+
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+#include "report/experiments.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+using namespace nocsched;
+
+// p22810 plus an explicit list of processor kinds.
+core::SystemModel mixed_system(const std::vector<itc02::ProcessorKind>& fleet,
+                               const core::PlannerParams& params) {
+  itc02::Soc soc = itc02::builtin_p22810();
+  int id = static_cast<int>(soc.modules.size());
+  int leon_ordinal = 0;
+  int plasma_ordinal = 0;
+  for (const itc02::ProcessorKind kind : fleet) {
+    const int ordinal =
+        kind == itc02::ProcessorKind::kLeon ? ++leon_ordinal : ++plasma_ordinal;
+    soc.modules.push_back(itc02::processor_module(kind, ++id, ordinal));
+  }
+  soc.name = "p22810_mixed";
+  itc02::validate(soc);
+  noc::Mesh mesh = core::paper_mesh("p22810");
+  auto placement = core::default_placement(soc, mesh);
+  const noc::RouterId in = core::default_ate_input(mesh);
+  const noc::RouterId out = core::default_ate_output(mesh);
+  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
+                           params);
+}
+
+std::uint64_t run_fleet(const std::vector<itc02::ProcessorKind>& fleet,
+                        const core::PlannerParams& params) {
+  const core::SystemModel sys = mixed_system(fleet, params);
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  sim::validate_or_throw(sys, s);
+  return s.makespan;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    using itc02::ProcessorKind;
+    const core::PlannerParams params = core::PlannerParams::paper();
+    const auto L = ProcessorKind::kLeon;
+    const auto P = ProcessorKind::kPlasma;
+    std::cout << "Mixed processor fleets on p22810 (4 processors, no power limit)\n\n";
+    std::cout << "all-Leon      : " << run_fleet({L, L, L, L}, params) << " cycles\n";
+    std::cout << "all-Plasma    : " << run_fleet({P, P, P, P}, params) << " cycles\n";
+    std::cout << "2 Leon+2 Plasma: " << run_fleet({L, P, L, P}, params) << " cycles\n";
+    std::cout << "baseline (0)  : " << run_fleet({}, params) << " cycles\n";
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A4: sensitivity to the NoC characterization (paper §2 step 1)
+// and to the wrapper interface width pinned in DESIGN.md.  Sweeps flit
+// width, flow-control latency and wrapper chains on d695 (Leon, 4
+// processors, no power limit).
+
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "report/experiments.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+std::uint64_t run_once(const nocsched::core::PlannerParams& params) {
+  using namespace nocsched;
+  const core::SystemModel sys =
+      core::SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 4, params);
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  sim::validate_or_throw(sys, s);
+  return s.makespan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nocsched;
+  try {
+    const core::PlannerParams base = core::PlannerParams::paper();
+    std::cout << "NoC / wrapper parameter sensitivity (d695, Leon, 4proc, no limit)\n\n";
+
+    std::cout << "flit width (bits):\n";
+    for (std::uint32_t w : {16u, 32u, 64u}) {
+      core::PlannerParams p = base;
+      p.noc.flit_width_bits = w;
+      std::cout << "  " << w << " -> " << run_once(p) << " cycles\n";
+    }
+
+    std::cout << "flow-control latency (cycles/flit/hop):\n";
+    for (std::uint32_t fc : {1u, 2u, 4u}) {
+      core::PlannerParams p = base;
+      p.noc.flow_control_latency = fc;
+      std::cout << "  " << fc << " -> " << run_once(p) << " cycles\n";
+    }
+
+    std::cout << "routing latency (cycles/hop):\n";
+    for (std::uint32_t r : {1u, 3u, 8u}) {
+      core::PlannerParams p = base;
+      p.noc.routing_latency = r;
+      std::cout << "  " << r << " -> " << run_once(p) << " cycles\n";
+    }
+
+    std::cout << "wrapper chains per core:\n";
+    for (std::uint32_t wc : {2u, 4u, 8u, 16u}) {
+      core::PlannerParams p = base;
+      p.wrapper_chains = wc;
+      std::cout << "  " << wc << " -> " << run_once(p) << " cycles\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

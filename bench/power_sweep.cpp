@@ -1,0 +1,40 @@
+// Ablation A3: power-limit sweep.  The paper evaluates only 50% and
+// unconstrained; this bench maps the whole trade-off curve on all three
+// systems (Leon, 4 reused processors).
+
+#include <iostream>
+
+#include "common/error.hpp"
+#include "report/experiments.hpp"
+
+using nocsched::cat;
+
+int main() {
+  using namespace nocsched;
+  try {
+    const core::PlannerParams params = core::PlannerParams::paper();
+    std::cout << "Power-limit sweep (Leon, 4 reused processors)\n\n";
+    for (const std::string& soc : itc02::builtin_names()) {
+      std::cout << soc << ":\n  limit   test_time   vs-unconstrained\n";
+      const std::vector<int> counts = {4};
+      std::vector<std::optional<double>> fractions = {std::nullopt};
+      for (int pct = 40; pct <= 100; pct += 20) fractions.push_back(pct / 100.0);
+      const report::ReuseSweep sweep = report::run_reuse_sweep(
+          soc, itc02::ProcessorKind::kLeon, counts, fractions, params);
+      const double unconstrained = static_cast<double>(sweep.time_at(4, std::nullopt));
+      for (const report::SweepPoint& p : sweep.points) {
+        const double overhead =
+            100.0 * (static_cast<double>(p.test_time) / unconstrained - 1.0);
+        std::cout << "  " << (p.power_fraction ? cat(static_cast<int>(*p.power_fraction * 100), "%  ")
+                                               : std::string("none "))
+                  << "   " << p.test_time << "      +" << static_cast<int>(overhead + 0.5)
+                  << "%\n";
+      }
+      std::cout << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// A6: planner throughput (google-benchmark).  The planner is meant to
+// sit inside a designer's iteration loop, so wall-clock matters: these
+// timings cover the full pipeline (system construction is hoisted;
+// planning + validation measured) on the three paper systems.
+
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+using namespace nocsched;
+
+void bench_plan(benchmark::State& state, const char* soc, int procs, bool constrained) {
+  const core::PlannerParams params = core::PlannerParams::paper();
+  const core::SystemModel sys =
+      core::SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, procs, params);
+  const power::PowerBudget budget =
+      constrained ? power::PowerBudget::fraction_of_total(sys.soc(), 0.5)
+                  : power::PowerBudget::unconstrained();
+  for (auto _ : state) {
+    core::Schedule s = core::plan_tests(sys, budget);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+}
+
+void bench_validate(benchmark::State& state) {
+  const core::PlannerParams params = core::PlannerParams::paper();
+  const core::SystemModel sys =
+      core::SystemModel::paper_system("p93791", itc02::ProcessorKind::kLeon, 8, params);
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  for (auto _ : state) {
+    sim::ValidationReport r = sim::validate(sys, s);
+    benchmark::DoNotOptimize(r.violations.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_plan, d695_noproc, "d695", 0, false);
+BENCHMARK_CAPTURE(bench_plan, d695_6proc, "d695", 6, false);
+BENCHMARK_CAPTURE(bench_plan, p22810_8proc, "p22810", 8, false);
+BENCHMARK_CAPTURE(bench_plan, p93791_8proc, "p93791", 8, false);
+BENCHMARK_CAPTURE(bench_plan, p93791_8proc_power, "p93791", 8, true);
+BENCHMARK(bench_validate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Building a *custom* system instead of a paper benchmark:
+//   - describe cores by hand with the itc02 data model,
+//   - append one Leon and one Plasma processor,
+//   - choose your own mesh, floorplan and ATE attachment,
+//   - inspect the wrapper design of a core,
+//   - plan with the cost-aware EarliestCompletion policy.
+
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+#include "itc02/builtin.hpp"
+#include "report/schedule_text.hpp"
+#include "sim/validate.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace {
+
+nocsched::itc02::Module logic_core(int id, std::string name, std::uint32_t scan_flops,
+                                   std::uint32_t chains, std::uint32_t patterns,
+                                   double power) {
+  nocsched::itc02::Module m;
+  m.id = id;
+  m.name = std::move(name);
+  m.inputs = 40;
+  m.outputs = 40;
+  for (std::uint32_t c = 0; c < chains; ++c) {
+    m.scan_chains.push_back(scan_flops / chains + (c < scan_flops % chains ? 1 : 0));
+  }
+  m.tests.push_back({patterns, true});
+  m.test_power = power;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nocsched;
+  try {
+    // A 6-core design: four logic cores plus two processors we intend
+    // to reuse during test.
+    itc02::Soc soc;
+    soc.name = "my_soc";
+    soc.modules.push_back(logic_core(1, "dsp", 1800, 12, 140, 700));
+    soc.modules.push_back(logic_core(2, "viterbi", 900, 8, 220, 450));
+    soc.modules.push_back(logic_core(3, "dma", 300, 4, 90, 250));
+    soc.modules.push_back(logic_core(4, "usb", 500, 4, 120, 300));
+    soc.modules.push_back(itc02::processor_module(itc02::ProcessorKind::kLeon, 5, 1));
+    soc.modules.push_back(itc02::processor_module(itc02::ProcessorKind::kPlasma, 6, 1));
+    itc02::validate(soc);
+
+    // Look at what the wrapper designer does with the DSP core.
+    const wrapper::WrapperConfig cfg = wrapper::design_wrapper(soc.module(1), 4);
+    std::cout << "dsp wrapper: " << cfg.chains << " chains, scan-in " << cfg.scan_in_length
+              << " cycles, scan-out " << cfg.scan_out_length << " cycles\n\n";
+
+    // A 3x2 mesh with a hand-written floorplan.
+    noc::Mesh mesh(3, 2);
+    std::vector<core::CorePlacement> placement = {
+        {1, mesh.router_at(0, 0)}, {2, mesh.router_at(1, 0)}, {3, mesh.router_at(2, 0)},
+        {4, mesh.router_at(0, 1)}, {5, mesh.router_at(1, 1)}, {6, mesh.router_at(2, 1)},
+    };
+
+    core::PlannerParams params = core::PlannerParams::paper();
+    params.resource_choice = core::ResourceChoice::kEarliestCompletion;
+    const core::SystemModel sys(std::move(soc), std::move(mesh), std::move(placement),
+                                /*ate_input=*/0, /*ate_output=*/5, params);
+
+    const core::Schedule schedule =
+        core::plan_tests(sys, power::PowerBudget::unconstrained());
+    sim::validate_or_throw(sys, schedule);
+    std::cout << report::schedule_table(sys, schedule) << "\n"
+              << report::gantt(sys, schedule);
+  } catch (const std::exception& e) {
+    std::cerr << "custom_soc failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// How tight can the power budget get before reuse stops paying off?
+// Sweeps the peak-power limit from 30% to 100% of total core test power
+// on p22810 with 4 reused Leon processors and prints a CSV alongside
+// the no-reuse baseline at the same limits.
+
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+#include "sim/validate.hpp"
+
+int main() {
+  using namespace nocsched;
+  try {
+    const core::PlannerParams params = core::PlannerParams::paper();
+    const core::SystemModel with_procs =
+        core::SystemModel::paper_system("p22810", itc02::ProcessorKind::kLeon, 4, params);
+    const core::SystemModel no_procs =
+        core::SystemModel::paper_system("p22810", itc02::ProcessorKind::kLeon, 0, params);
+
+    CsvWriter csv(std::cout, {"power_limit_pct", "test_time_noproc", "test_time_4proc",
+                              "reduction_pct"});
+    for (int pct = 30; pct <= 100; pct += 10) {
+      const double fraction = pct / 100.0;
+      const core::Schedule base = core::plan_tests(
+          no_procs, power::PowerBudget::fraction_of_total(no_procs.soc(), fraction));
+      sim::validate_or_throw(no_procs, base);
+      const core::Schedule reuse = core::plan_tests(
+          with_procs, power::PowerBudget::fraction_of_total(with_procs.soc(), fraction));
+      sim::validate_or_throw(with_procs, reuse);
+      const double reduction = 100.0 * (1.0 - static_cast<double>(reuse.makespan) /
+                                                  static_cast<double>(base.makespan));
+      csv.row_of(pct, base.makespan, reuse.makespan, static_cast<int>(reduction + 0.5));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "power_sweep failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

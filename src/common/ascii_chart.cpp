@@ -1,0 +1,50 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace nocsched {
+
+BarChart::BarChart(std::string title, std::vector<std::string> series)
+    : title_(std::move(title)), series_(std::move(series)) {
+  ensure(!series_.empty(), "BarChart: need at least one series");
+}
+
+void BarChart::add_group(const std::string& label, const std::vector<double>& values) {
+  ensure(values.size() == series_.size(), "BarChart: group '", label, "' has ",
+         values.size(), " values for ", series_.size(), " series");
+  for (double v : values) ensure(v >= 0.0 && std::isfinite(v), "BarChart: bad value in '", label, "'");
+  groups_.push_back({label, values});
+}
+
+std::string BarChart::render(std::size_t bar_width) const {
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  std::size_t series_w = 0;
+  for (const auto& g : groups_) {
+    label_w = std::max(label_w, g.label.size());
+    for (double v : g.values) max_v = std::max(max_v, v);
+  }
+  for (const auto& s : series_) series_w = std::max(series_w, s.size());
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::string out = title_ + "\n" + std::string(title_.size(), '=') + "\n";
+  for (const auto& g : groups_) {
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      const std::string row_label = s == 0 ? g.label : std::string();
+      const double v = g.values[s];
+      const auto n = static_cast<std::size_t>(std::lround(v / max_v * static_cast<double>(bar_width)));
+      out += cat("  ", row_label, std::string(label_w - row_label.size(), ' '), "  ",
+                 series_[s], std::string(series_w - series_[s].size(), ' '), " |",
+                 std::string(n, '#'), std::string(bar_width - n, ' '), "| ",
+                 with_commas(static_cast<std::uint64_t>(std::llround(v))), "\n");
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nocsched

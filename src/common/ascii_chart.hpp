@@ -1,0 +1,36 @@
+#pragma once
+// Terminal rendering of grouped bar charts, used by the benchmark
+// harness to print Figure-1-style panels (test time vs. number of
+// reused processors, one bar per power configuration).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nocsched {
+
+/// A grouped horizontal bar chart.  Each group is an x-axis category
+/// (e.g. "noproc", "2proc"); each series is one bar within every group
+/// (e.g. "50% power limit", "no power limit").
+class BarChart {
+ public:
+  BarChart(std::string title, std::vector<std::string> series);
+
+  /// Append a group; `values` must have one entry per series.
+  void add_group(const std::string& label, const std::vector<double>& values);
+
+  /// Render with bars scaled to `bar_width` characters at the maximum.
+  [[nodiscard]] std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  struct Group {
+    std::string label;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::vector<std::string> series_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace nocsched

@@ -1,0 +1,9 @@
+#include "common/error.hpp"
+
+namespace nocsched {
+
+void assert_failed(const char* expr, const char* file, int line) {
+  throw Error(cat("internal invariant violated: ", expr, " at ", file, ":", line));
+}
+
+}  // namespace nocsched

@@ -1,0 +1,75 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nocsched {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64(sm);
+  // All-zero state would lock xoshiro at zero forever.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  ensure(lo <= hi, "Rng::uniform: lo > hi (", lo, " > ", hi, ")");
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return next_u64();
+  return lo + below(span + 1);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  ensure(n > 0, "Rng::below: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::uint64_t Rng::skewed(std::uint64_t lo, std::uint64_t hi, double shape) {
+  ensure(lo <= hi, "Rng::skewed: lo > hi");
+  ensure(shape > 0.0, "Rng::skewed: shape must be positive");
+  const double u = uniform01();
+  const double frac = std::pow(u, shape);  // mass concentrated near 0
+  const double span = static_cast<double>(hi - lo);
+  auto value = lo + static_cast<std::uint64_t>(frac * span + 0.5);
+  return value > hi ? hi : value;
+}
+
+}  // namespace nocsched

@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in this repository (synthetic SoC
+// generation, property tests, workload perturbation) draws from this
+// generator so results are reproducible from a seed alone, independent
+// of the standard library's distribution implementations.
+
+#include <cstdint>
+#include <vector>
+
+namespace nocsched {
+
+/// xoshiro256** with SplitMix64 seeding.  Deterministic across
+/// platforms; not cryptographic.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// Geometric-flavoured "mostly small, occasionally large" integer in
+  /// [lo, hi]: used for realistic core-size distributions where a few
+  /// large cores dominate.
+  std::uint64_t skewed(std::uint64_t lo, std::uint64_t hi, double shape = 2.5);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nocsched

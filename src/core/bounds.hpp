@@ -1,0 +1,41 @@
+#pragma once
+// Analytic lower bounds on the achievable system test time.
+//
+// Standard machine-scheduling bounds specialized to this problem; any
+// feasible plan's makespan is >= combined().  Used to judge how close
+// the greedy (or multistart) plan is to optimal without solving the
+// NP-hard problem exactly.
+
+#include <cstdint>
+
+#include "core/system_model.hpp"
+
+namespace nocsched::core {
+
+struct LowerBounds {
+  /// Longest unavoidable single session: for each core, the fastest
+  /// session over all legal stations; the maximum over cores.
+  std::uint64_t critical_session = 0;
+
+  /// Cores no processor can serve (memory gate) share the one external
+  /// tester channel, so the sum of their fastest external sessions is a
+  /// serial floor.
+  std::uint64_t ate_only_work = 0;
+
+  /// Work conservation: total fastest-session work divided by the
+  /// number of stations (ATE channel + processors), rounded up.
+  std::uint64_t work_per_station = 0;
+
+  [[nodiscard]] std::uint64_t combined() const {
+    std::uint64_t best = critical_session;
+    if (ate_only_work > best) best = ate_only_work;
+    if (work_per_station > best) best = work_per_station;
+    return best;
+  }
+};
+
+/// Compute the bounds for `sys` (budget-independent: power constraints
+/// can only raise the true optimum).
+[[nodiscard]] LowerBounds makespan_lower_bounds(const SystemModel& sys);
+
+}  // namespace nocsched::core

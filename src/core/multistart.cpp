@@ -1,0 +1,59 @@
+#include "core/multistart.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/session_model.hpp"
+
+namespace nocsched::core {
+
+namespace {
+
+// Tier of a module in the offer order: 0 = processor self-tests,
+// 1 = ATE-only cores, 2 = flexible cores (same partition as
+// priority_order; shuffling must stay inside tiers or the processor
+// bootstrap falls apart).
+int tier_of(const SystemModel& sys, int module_id) {
+  if (sys.soc().module(module_id).is_processor && sys.params().processors_first) return 0;
+  for (const Endpoint& ep : sys.endpoints()) {
+    if (!ep.is_processor() || ep.processor_module == module_id) continue;
+    if (fits_processor_memory(sys, module_id, ep.cpu)) return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+MultistartResult plan_tests_multistart(const SystemModel& sys,
+                                       const power::PowerBudget& budget,
+                                       std::uint64_t restarts, std::uint64_t seed) {
+  MultistartResult result;
+  const std::vector<int> base_order = priority_order(sys);
+  result.best = plan_tests_with_order(sys, budget, base_order);
+  result.first_makespan = result.best.makespan;
+  result.restarts = 1;
+
+  // Partition once; shuffle within tiers per restart.
+  std::vector<std::vector<int>> tiers(3);
+  for (int id : base_order) {
+    tiers[static_cast<std::size_t>(tier_of(sys, id))].push_back(id);
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t r = 0; r < restarts; ++r) {
+    std::vector<int> order;
+    order.reserve(base_order.size());
+    for (std::vector<int>& tier : tiers) {
+      rng.shuffle(tier);
+      order.insert(order.end(), tier.begin(), tier.end());
+    }
+    Schedule candidate = plan_tests_with_order(sys, budget, order);
+    ++result.restarts;
+    if (candidate.makespan < result.best.makespan) {
+      result.best = std::move(candidate);
+      ++result.improvements;
+    }
+  }
+  return result;
+}
+
+}  // namespace nocsched::core

@@ -1,0 +1,36 @@
+#pragma once
+// Multi-start improvement on top of the greedy planner.
+//
+// The paper's greedy commits to one priority order; DATE'05 leaves
+// "better scheduling" as future work.  This module quantifies the
+// opportunity: it re-runs the planner under randomized perturbations of
+// the priority order (keeping the processor-bootstrap and
+// machine-eligibility tiers intact) and keeps the best plan.  Useful
+// both as a practical knob (a few hundred restarts run in milliseconds)
+// and as an upper-bound probe on how much the single-pass greedy leaves
+// on the table (ablation A10).
+
+#include <cstdint>
+
+#include "core/scheduler.hpp"
+
+namespace nocsched::core {
+
+struct MultistartResult {
+  Schedule best;                  ///< best plan found
+  std::uint64_t first_makespan = 0;  ///< the deterministic greedy's makespan
+  std::uint64_t restarts = 0;        ///< orders tried (including the first)
+  std::uint64_t improvements = 0;    ///< times the best plan changed
+};
+
+/// Run the planner once with the deterministic priority order, then
+/// `restarts` more times with seeded random tie-shuffles inside each
+/// priority tier; every candidate plan is validated internally before
+/// it can become the best.  Deterministic in (sys, budget, restarts,
+/// seed).
+[[nodiscard]] MultistartResult plan_tests_multistart(const SystemModel& sys,
+                                                     const power::PowerBudget& budget,
+                                                     std::uint64_t restarts,
+                                                     std::uint64_t seed = 0x5EED);
+
+}  // namespace nocsched::core

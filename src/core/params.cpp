@@ -1,0 +1,70 @@
+#include "core/params.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nocsched::core {
+
+CpuRates to_rates(const cpu::CpuCharacterization& c) {
+  CpuRates r;
+  r.per_stimulus_flit = c.cycles_per_stimulus_flit;
+  r.per_response_flit = c.cycles_per_response_flit;
+  r.per_pattern_overhead = c.cycles_per_pattern_overhead;
+  r.setup_cycles = static_cast<double>(c.setup_cycles);
+  r.active_power = c.active_power;
+  r.program_bytes = c.program_bytes;
+  r.memory_bytes = c.memory_bytes;
+  return r;
+}
+
+PlannerParams PlannerParams::paper() {
+  // Characterization simulates a few hundred thousand instructions;
+  // cache it per process.
+  static const CpuRates leon = to_rates(cpu::characterize(itc02::ProcessorKind::kLeon));
+  static const CpuRates plasma = to_rates(cpu::characterize(itc02::ProcessorKind::kPlasma));
+  PlannerParams p;
+  p.leon = leon;
+  p.plasma = plasma;
+  return p;
+}
+
+PlannerParams PlannerParams::paper_literal_rate() {
+  PlannerParams p = paper();
+  for (CpuRates* r : {&p.leon, &p.plasma}) {
+    r->per_stimulus_flit = 0.0;
+    r->per_response_flit = 0.0;
+    r->per_pattern_overhead = 10.0;  // the paper's literal constant
+    r->setup_cycles = 0.0;
+  }
+  return p;
+}
+
+const CpuRates& PlannerParams::rates(itc02::ProcessorKind kind) const {
+  switch (kind) {
+    case itc02::ProcessorKind::kLeon:
+      return leon;
+    case itc02::ProcessorKind::kPlasma:
+      return plasma;
+  }
+  fail("PlannerParams::rates: unknown processor kind");
+}
+
+void validate(const PlannerParams& p) {
+  ensure(p.wrapper_chains > 0, "PlannerParams: wrapper_chains must be positive");
+  noc::validate(p.noc);
+  for (const CpuRates* r : {&p.leon, &p.plasma}) {
+    ensure(std::isfinite(r->per_stimulus_flit) && r->per_stimulus_flit >= 0.0,
+           "PlannerParams: bad stimulus flit rate");
+    ensure(std::isfinite(r->per_response_flit) && r->per_response_flit >= 0.0,
+           "PlannerParams: bad response flit rate");
+    ensure(std::isfinite(r->per_pattern_overhead) && r->per_pattern_overhead >= 0.0,
+           "PlannerParams: bad pattern overhead");
+    ensure(std::isfinite(r->setup_cycles) && r->setup_cycles >= 0.0,
+           "PlannerParams: bad setup cycles");
+    ensure(std::isfinite(r->active_power) && r->active_power >= 0.0,
+           "PlannerParams: bad active power");
+  }
+}
+
+}  // namespace nocsched::core

@@ -1,0 +1,86 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nocsched::core {
+
+std::vector<noc::RouterId> serpentine_order(const noc::Mesh& mesh) {
+  std::vector<noc::RouterId> order;
+  order.reserve(static_cast<std::size_t>(mesh.router_count()));
+  for (int y = 0; y < mesh.rows(); ++y) {
+    if (y % 2 == 0) {
+      for (int x = 0; x < mesh.cols(); ++x) order.push_back(mesh.router_at(x, y));
+    } else {
+      for (int x = mesh.cols() - 1; x >= 0; --x) order.push_back(mesh.router_at(x, y));
+    }
+  }
+  return order;
+}
+
+std::vector<CorePlacement> default_placement(const itc02::Soc& soc, const noc::Mesh& mesh) {
+  const std::vector<noc::RouterId> scan = serpentine_order(mesh);
+  const std::size_t routers = scan.size();
+
+  // Processors first: spread them at evenly spaced scan positions.
+  std::vector<int> processors = soc.processor_ids();
+  std::vector<bool> taken(routers, false);
+  std::vector<CorePlacement> placement;
+  placement.reserve(soc.modules.size());
+
+  const std::size_t k = processors.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    // Positions 1/(k+1), 2/(k+1), ... of the scan — interior, spread out.
+    std::size_t pos = (i + 1) * routers / (k + 1);
+    if (pos >= routers) pos = routers - 1;
+    // Find the nearest untaken slot (forward search with wrap).
+    for (std::size_t step = 0; step < routers; ++step) {
+      const std::size_t cand = (pos + step) % routers;
+      if (!taken[cand]) {
+        pos = cand;
+        break;
+      }
+    }
+    taken[pos] = true;
+    placement.push_back({processors[i], scan[pos]});
+  }
+
+  // Remaining modules fill the free routers in scan order, wrapping
+  // around when the SoC has more cores than routers.
+  std::vector<std::size_t> free_slots;
+  for (std::size_t i = 0; i < routers; ++i) {
+    if (!taken[i]) free_slots.push_back(i);
+  }
+  if (free_slots.empty()) {  // degenerate: all routers hold processors
+    for (std::size_t i = 0; i < routers; ++i) free_slots.push_back(i);
+  }
+  std::size_t next = 0;
+  for (const itc02::Module& m : soc.modules) {
+    if (m.is_processor) continue;
+    placement.push_back({m.id, scan[free_slots[next % free_slots.size()]]});
+    ++next;
+  }
+
+  // Return in module-id order for predictable lookup.
+  std::sort(placement.begin(), placement.end(),
+            [](const CorePlacement& a, const CorePlacement& b) {
+              return a.module_id < b.module_id;
+            });
+  return placement;
+}
+
+noc::RouterId default_ate_input(const noc::Mesh& mesh) { return mesh.router_at(0, 0); }
+
+noc::RouterId default_ate_output(const noc::Mesh& mesh) {
+  return mesh.router_at(mesh.cols() - 1, mesh.rows() - 1);
+}
+
+noc::Mesh paper_mesh(std::string_view soc_name) {
+  if (soc_name == "d695") return noc::Mesh(4, 4);
+  if (soc_name == "p22810") return noc::Mesh(5, 6);
+  if (soc_name == "p93791") return noc::Mesh(5, 5);
+  fail("paper_mesh: no paper mesh dimensions for SoC '", std::string(soc_name), "'");
+}
+
+}  // namespace nocsched::core

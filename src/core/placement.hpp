@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic default floorplan.
+//
+// The paper fixes the mesh dimensions per system (4x4, 5x6, 5x5) but
+// not the floorplan; DESIGN.md §2 pins this deterministic default:
+// processors are spread evenly along a serpentine scan of the mesh
+// (so reuse adds interfaces across the die, not in one corner), the
+// remaining cores fill the remaining routers in module-id order, and
+// systems with more cores than routers wrap around (several cores per
+// router, each on its own local port).  The ATE input port attaches at
+// the north-west corner, the output port at the south-east corner.
+
+#include <vector>
+
+#include "itc02/soc.hpp"
+#include "noc/mesh.hpp"
+
+namespace nocsched::core {
+
+/// Where one module lives.
+struct CorePlacement {
+  int module_id = 0;
+  noc::RouterId router = 0;
+  friend bool operator==(const CorePlacement&, const CorePlacement&) = default;
+};
+
+/// Routers in serpentine (boustrophedon) scan order; exposed for tests.
+[[nodiscard]] std::vector<noc::RouterId> serpentine_order(const noc::Mesh& mesh);
+
+/// The default placement described above; one entry per module of `soc`.
+[[nodiscard]] std::vector<CorePlacement> default_placement(const itc02::Soc& soc,
+                                                           const noc::Mesh& mesh);
+
+/// Default ATE attachment points.
+[[nodiscard]] noc::RouterId default_ate_input(const noc::Mesh& mesh);
+[[nodiscard]] noc::RouterId default_ate_output(const noc::Mesh& mesh);
+
+/// Paper mesh dimensions for the built-in systems ("d695" -> 4x4,
+/// "p22810" -> 5x6, "p93791" -> 5x5); throws for unknown names.
+[[nodiscard]] noc::Mesh paper_mesh(std::string_view soc_name);
+
+}  // namespace nocsched::core

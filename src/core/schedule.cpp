@@ -1,0 +1,22 @@
+#include "core/schedule.hpp"
+
+#include "common/error.hpp"
+
+namespace nocsched::core {
+
+const Session& Schedule::session_for(int module_id) const {
+  for (const Session& s : sessions) {
+    if (s.module_id == module_id) return s;
+  }
+  fail("Schedule: no session for module ", module_id);
+}
+
+std::size_t Schedule::sessions_using(int resource) const {
+  std::size_t n = 0;
+  for (const Session& s : sessions) {
+    if (s.source_resource == resource || s.sink_resource == resource) ++n;
+  }
+  return n;
+}
+
+}  // namespace nocsched::core

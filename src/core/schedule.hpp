@@ -1,0 +1,41 @@
+#pragma once
+// Result types of the test planner.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/mesh.hpp"
+
+namespace nocsched::core {
+
+/// One committed test session.
+struct Session {
+  int module_id = 0;
+  int source_resource = -1;  ///< index into SystemModel::endpoints()
+  int sink_resource = -1;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  ///< exclusive
+  double power = 0.0;
+  std::vector<noc::ChannelId> path_in;
+  std::vector<noc::ChannelId> path_out;
+  double bandwidth_in = 0.0;   ///< channel occupancy of the stimulus stream
+  double bandwidth_out = 0.0;  ///< channel occupancy of the response stream
+
+  [[nodiscard]] std::uint64_t duration() const { return end - start; }
+};
+
+/// A complete test plan for one system.
+struct Schedule {
+  std::vector<Session> sessions;  ///< sorted by (start, module_id)
+  std::uint64_t makespan = 0;     ///< max session end (the system test time)
+  double peak_power = 0.0;        ///< max summed draw across the plan
+  double power_limit = 0.0;       ///< budget used (infinity = unconstrained)
+
+  /// Session testing `module_id`; throws if none exists.
+  [[nodiscard]] const Session& session_for(int module_id) const;
+
+  /// Number of sessions whose source or sink is resource `r`.
+  [[nodiscard]] std::size_t sessions_using(int resource) const;
+};
+
+}  // namespace nocsched::core

@@ -1,0 +1,430 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "common/error.hpp"
+#include "noc/reservation.hpp"
+#include "power/profile.hpp"
+
+namespace nocsched::core {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// Per-channel bandwidth bookkeeping for ChannelModel::kMultiplexed —
+/// each channel carries any mix of streams whose occupancies sum to at
+/// most full capacity (1.0 flit-slots per cycle).
+class ChannelLoadTable {
+ public:
+  explicit ChannelLoadTable(int channels) : load_(static_cast<std::size_t>(channels)) {}
+
+  bool fits(std::span<const noc::ChannelId> path, const Interval& iv, double bw) const {
+    for (noc::ChannelId c : path) {
+      if (!load_[static_cast<std::size_t>(c)].fits(iv, bw, 1.0)) return false;
+    }
+    return true;
+  }
+
+  void add(std::span<const noc::ChannelId> path, const Interval& iv, double bw) {
+    for (noc::ChannelId c : path) {
+      load_[static_cast<std::size_t>(c)].add(iv, bw);
+    }
+  }
+
+  /// Earliest profile breakpoint after `t` on any channel of `path`.
+  std::optional<std::uint64_t> next_change_after(std::span<const noc::ChannelId> path,
+                                                 std::uint64_t t) const {
+    std::optional<std::uint64_t> best;
+    for (noc::ChannelId c : path) {
+      const auto n = load_[static_cast<std::size_t>(c)].next_change_after(t);
+      if (n && (!best || *n < *best)) best = n;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<power::PowerProfile> load_;
+};
+
+struct ResourceState {
+  Endpoint ep;
+  IntervalSet busy;
+  /// Earliest instant this resource may serve a session: 0 for the ATE
+  /// ports, the end of the processor's own test once that is committed,
+  /// kNever for processors whose test is not yet planned.
+  std::uint64_t available_from = 0;
+};
+
+/// A fully-determined candidate: (core, pair, start, plan).
+struct Candidate {
+  std::size_t source = 0;
+  std::size_t sink = 0;
+  std::uint64_t start = 0;
+  SessionPlan plan;
+};
+
+class Planner {
+ public:
+  Planner(const SystemModel& sys, const power::PowerBudget& budget, std::vector<int> order)
+      : sys_(sys),
+        budget_(budget),
+        reservations_(sys.mesh()),
+        channel_load_(sys.mesh().channel_count()),
+        order_(std::move(order)) {
+    for (const Endpoint& ep : sys_.endpoints()) {
+      ResourceState rs;
+      rs.ep = ep;
+      rs.available_from = ep.is_processor() ? kNever : 0;
+      resources_.push_back(std::move(rs));
+    }
+    // Feasibility precheck: every core must have at least one pair whose
+    // session power fits the budget in isolation.
+    for (const itc02::Module& m : sys_.soc().modules) {
+      double cheapest = std::numeric_limits<double>::infinity();
+      for_each_pair(m.id, [&](std::size_t s, std::size_t k) {
+        cheapest = std::min(cheapest,
+                            plan_session(sys_, m.id, resources_[s].ep, resources_[k].ep).power);
+      });
+      ensure(cheapest <= budget_.limit, "infeasible: module ", m.id, " ('", m.name,
+             "') needs at least ", cheapest, " power but the budget is ", budget_.limit);
+    }
+  }
+
+  Schedule run() {
+    switch (sys_.params().resource_choice) {
+      case ResourceChoice::kFirstAvailable:
+        run_first_available();
+        break;
+      case ResourceChoice::kEarliestCompletion:
+        run_earliest_completion();
+        break;
+    }
+    return finish();
+  }
+
+ private:
+  // ----- shared helpers -------------------------------------------------
+
+  /// Enumerate legal (source, sink) resource index pairs for a module,
+  /// nearest-first (total hops, then source id, then sink id).
+  template <typename Fn>
+  void for_each_pair(int module_id, Fn&& fn) const {
+    struct Entry {
+      int hops;
+      std::size_t s, k;
+    };
+    std::vector<Entry> entries;
+    const noc::RouterId at = sys_.router_of(module_id);
+    const bool cross = sys_.params().allow_cross_pairing;
+    for (std::size_t s = 0; s < resources_.size(); ++s) {
+      const Endpoint& src = resources_[s].ep;
+      if (!src.can_source()) continue;
+      if (src.is_processor() && src.processor_module == module_id) continue;
+      if (src.is_processor() && !fits_processor_memory(sys_, module_id, src.cpu)) continue;
+      for (std::size_t k = 0; k < resources_.size(); ++k) {
+        const Endpoint& snk = resources_[k].ep;
+        if (!snk.can_sink()) continue;
+        if (snk.is_processor() && snk.processor_module == module_id) continue;
+        if (snk.is_processor() && !fits_processor_memory(sys_, module_id, snk.cpu)) continue;
+        if (s == k && !src.is_processor()) continue;  // only a CPU plays both roles
+        if (!cross && s != k && (src.is_processor() || snk.is_processor())) {
+          continue;  // default: ATE pair or one self-contained processor
+        }
+        entries.push_back({sys_.mesh().hop_count(src.router, at) +
+                               sys_.mesh().hop_count(at, snk.router),
+                           s, k});
+      }
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+      if (a.hops != b.hops) return a.hops < b.hops;
+      if (a.s != b.s) return a.s < b.s;
+      return a.k < b.k;
+    });
+    for (const Entry& e : entries) fn(e.s, e.k);
+  }
+
+  bool resources_free(std::size_t s, std::size_t k, const Interval& iv) const {
+    if (resources_[s].available_from > iv.start || resources_[s].busy.conflicts(iv)) {
+      return false;
+    }
+    if (k == s) return true;
+    return resources_[k].available_from <= iv.start && !resources_[k].busy.conflicts(iv);
+  }
+
+  bool paths_free(const SessionPlan& plan, const Interval& iv) const {
+    if (sys_.params().channel_model == ChannelModel::kCircuit) {
+      return reservations_.path_free(plan.path_in, iv) &&
+             reservations_.path_free(plan.path_out, iv);
+    }
+    return channel_load_.fits(plan.path_in, iv, plan.bandwidth_in) &&
+           channel_load_.fits(plan.path_out, iv, plan.bandwidth_out);
+  }
+
+  void commit(int module_id, const Candidate& c) {
+    const Interval iv{c.start, c.start + c.plan.duration};
+    resources_[c.source].busy.insert(iv);
+    if (c.sink != c.source) resources_[c.sink].busy.insert(iv);
+    if (sys_.params().channel_model == ChannelModel::kCircuit) {
+      reservations_.reserve(c.plan.path_in, iv);
+      reservations_.reserve(c.plan.path_out, iv);
+    } else {
+      channel_load_.add(c.plan.path_in, iv, c.plan.bandwidth_in);
+      channel_load_.add(c.plan.path_out, iv, c.plan.bandwidth_out);
+    }
+    profile_.add(iv, c.plan.power);
+
+    Session session;
+    session.module_id = module_id;
+    session.source_resource = static_cast<int>(c.source);
+    session.sink_resource = static_cast<int>(c.sink);
+    session.start = iv.start;
+    session.end = iv.end;
+    session.power = c.plan.power;
+    session.path_in = c.plan.path_in;
+    session.path_out = c.plan.path_out;
+    session.bandwidth_in = c.plan.bandwidth_in;
+    session.bandwidth_out = c.plan.bandwidth_out;
+    sessions_.push_back(std::move(session));
+    ends_.insert(iv.end);
+
+    // The module just planned might itself be a reusable processor.
+    for (ResourceState& rs : resources_) {
+      if (rs.ep.is_processor() && rs.ep.processor_module == module_id) {
+        rs.available_from = iv.end;
+      }
+    }
+  }
+
+  // ----- the paper's greedy (first available) ----------------------------
+
+  void run_first_available() {
+    std::vector<int> pending = order_;
+    std::uint64_t t = 0;
+    while (!pending.empty()) {
+      // One pass in priority order; starting a session never frees
+      // capacity, so a single pass per instant is exhaustive.
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (const auto c = first_available_candidate(*it, t)) {
+          commit(*it, *c);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (pending.empty()) break;
+      // Advance to the next session completion.
+      const auto next = ends_.upper_bound(t);
+      if (next == ends_.end()) {
+        diagnose_stuck(pending.front(), t);
+      }
+      t = *next;
+    }
+  }
+
+  std::optional<Candidate> first_available_candidate(int module_id, std::uint64_t t) {
+    // Consider only pairs free *right now*: what makes this the paper's
+    // greedy is that it never waits — a busy-but-faster interface that
+    // frees moments later loses to a free-but-slower processor, which
+    // is the anomaly the paper reports on p22810.  Among simultaneously
+    // free pairs, PairOrder decides (nearest hops, the paper's locality
+    // emphasis, or shortest session).
+    std::optional<Candidate> best;
+    int best_hops = 0;
+    const noc::RouterId at = sys_.router_of(module_id);
+    for_each_pair(module_id, [&](std::size_t s, std::size_t k) {
+      if (resources_[s].available_from > t) return;
+      if (k != s && resources_[k].available_from > t) return;
+      const int hops = sys_.mesh().hop_count(resources_[s].ep.router, at) +
+                       sys_.mesh().hop_count(at, resources_[k].ep.router);
+      SessionPlan plan = plan_session(sys_, module_id, resources_[s].ep, resources_[k].ep);
+      if (best) {
+        // for_each_pair already yields nearest-first, so under
+        // kNearestFirst the first feasible hit is final; under
+        // kFastestFirst keep scanning for a shorter session.
+        if (sys_.params().pair_order == PairOrder::kNearestFirst) return;
+        if (plan.duration > best->plan.duration) return;
+        if (plan.duration == best->plan.duration && hops >= best_hops) return;
+      }
+      const Interval iv{t, t + plan.duration};
+      if (!resources_free(s, k, iv)) return;
+      if (!paths_free(plan, iv)) return;
+      if (!profile_.fits(iv, plan.power, budget_.limit)) return;
+      best = Candidate{s, k, t, std::move(plan)};
+      best_hops = hops;
+    });
+    return best;
+  }
+
+  [[noreturn]] void diagnose_stuck(int module_id, std::uint64_t t) {
+    const itc02::Module& m = sys_.soc().module(module_id);
+    fail("planner stuck at t=", t, ": module ", module_id, " ('", m.name,
+         "') cannot start any session — the power budget ", budget_.limit,
+         " is too tight for the concurrent set, or no interface can reach the core");
+  }
+
+  // ----- ablation: earliest completion -----------------------------------
+
+  void run_earliest_completion() {
+    for (int module_id : order_) {
+      std::optional<Candidate> best;
+      for_each_pair(module_id, [&](std::size_t s, std::size_t k) {
+        // Unenabled processors have available_from == kNever and are
+        // skipped; processors appear earlier in the priority order, so
+        // their availability is known by the time plain cores plan.
+        if (resources_[s].available_from == kNever) return;
+        if (k != s && resources_[k].available_from == kNever) return;
+        SessionPlan plan = plan_session(sys_, module_id, resources_[s].ep, resources_[k].ep);
+        if (plan.power > budget_.limit) return;
+        const std::uint64_t start = earliest_feasible_start(s, k, plan);
+        if (!best || start + plan.duration < best->start + best->plan.duration) {
+          best = Candidate{s, k, start, std::move(plan)};
+        }
+      });
+      ensure(best.has_value(), "planner: no feasible interface pair for module ", module_id);
+      commit(module_id, *best);
+    }
+  }
+
+  std::uint64_t earliest_feasible_start(std::size_t s, std::size_t k,
+                                        const SessionPlan& plan) const {
+    const std::uint64_t dur = plan.duration;
+    std::uint64_t t = std::max(resources_[s].available_from, resources_[k].available_from);
+    // Fixed point over the three constraint classes.  Terminates: t is
+    // nondecreasing and each constraint has finitely many busy windows.
+    const bool circuit = sys_.params().channel_model == ChannelModel::kCircuit;
+    for (;;) {
+      const std::uint64_t before = t;
+      t = resources_[s].busy.earliest_fit(t, dur);
+      if (k != s) t = resources_[k].busy.earliest_fit(t, dur);
+      if (circuit) {
+        t = reservations_.earliest_path_fit(plan.path_in, t, dur);
+        t = reservations_.earliest_path_fit(plan.path_out, t, dur);
+      } else {
+        // Bandwidth constraint: advance past load breakpoints until the
+        // whole window fits on every channel.
+        while (!channel_load_.fits(plan.path_in, {t, t + dur}, plan.bandwidth_in) ||
+               !channel_load_.fits(plan.path_out, {t, t + dur}, plan.bandwidth_out)) {
+          auto bump = channel_load_.next_change_after(plan.path_in, t);
+          const auto bump_out = channel_load_.next_change_after(plan.path_out, t);
+          if (!bump || (bump_out && *bump_out < *bump)) bump = bump_out;
+          NOCSCHED_ASSERT(bump.has_value());  // loads end, so a fit exists
+          t = *bump;
+        }
+      }
+      if (!profile_.fits({t, t + dur}, plan.power, budget_.limit)) {
+        const auto bump = profile_.next_change_after(t);
+        NOCSCHED_ASSERT(bump.has_value());  // precheck guarantees the tail fits
+        t = *bump;
+        continue;
+      }
+      if (t == before) return t;
+    }
+  }
+
+  // ----- wrap-up ----------------------------------------------------------
+
+  Schedule finish() {
+    Schedule out;
+    std::sort(sessions_.begin(), sessions_.end(), [](const Session& a, const Session& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.module_id < b.module_id;
+    });
+    for (const Session& s : sessions_) out.makespan = std::max(out.makespan, s.end);
+    out.sessions = std::move(sessions_);
+    out.peak_power = profile_.peak();
+    out.power_limit = budget_.limit;
+    return out;
+  }
+
+  const SystemModel& sys_;
+  power::PowerBudget budget_;
+  std::vector<ResourceState> resources_;
+  noc::ChannelReservations reservations_;
+  ChannelLoadTable channel_load_;
+  power::PowerProfile profile_;
+  std::vector<Session> sessions_;
+  std::multiset<std::uint64_t> ends_;
+  std::vector<int> order_;
+};
+
+}  // namespace
+
+std::vector<int> priority_order(const SystemModel& sys) {
+  std::vector<int> ids;
+  ids.reserve(sys.soc().modules.size());
+  for (const itc02::Module& m : sys.soc().modules) ids.push_back(m.id);
+
+  // A core is "flexible" if at least one processor in the system has
+  // the memory to test it; inflexible cores can only use the external
+  // tester, so they get the ATE first (machine-eligibility list
+  // scheduling: the constrained jobs seed the constrained machine).
+  auto cpu_eligible = [&](int id) {
+    for (const Endpoint& ep : sys.endpoints()) {
+      if (!ep.is_processor() || ep.processor_module == id) continue;
+      if (fits_processor_memory(sys, id, ep.cpu)) return true;
+    }
+    return false;
+  };
+
+  const PlannerParams& p = sys.params();
+  auto key_less = [&](int a, int b) {
+    const itc02::Module& ma = sys.soc().module(a);
+    const itc02::Module& mb = sys.soc().module(b);
+    if (p.processors_first && ma.is_processor != mb.is_processor) {
+      return ma.is_processor;  // processors first (cheap bootstrap)
+    }
+    const bool ea = cpu_eligible(a);
+    const bool eb = cpu_eligible(b);
+    if (ea != eb) return !ea;  // ATE-only cores ahead of flexible ones
+    switch (p.priority) {
+      case PriorityPolicy::kDistanceFirst: {
+        const int da = sys.distance_to_nearest_endpoint(a);
+        const int db = sys.distance_to_nearest_endpoint(b);
+        if (da != db) return da < db;
+        const std::uint64_t ca = sys.base_test_cycles(a);
+        const std::uint64_t cb = sys.base_test_cycles(b);
+        if (ca != cb) return ca > cb;  // longer first on ties
+        break;
+      }
+      case PriorityPolicy::kLongestTestFirst: {
+        const std::uint64_t ca = sys.base_test_cycles(a);
+        const std::uint64_t cb = sys.base_test_cycles(b);
+        if (ca != cb) return ca > cb;
+        break;
+      }
+      case PriorityPolicy::kShortestTestFirst: {
+        const std::uint64_t ca = sys.base_test_cycles(a);
+        const std::uint64_t cb = sys.base_test_cycles(b);
+        if (ca != cb) return ca < cb;
+        break;
+      }
+    }
+    return a < b;
+  };
+  std::sort(ids.begin(), ids.end(), key_less);
+  return ids;
+}
+
+Schedule plan_tests(const SystemModel& sys, const power::PowerBudget& budget) {
+  return Planner(sys, budget, priority_order(sys)).run();
+}
+
+Schedule plan_tests_with_order(const SystemModel& sys, const power::PowerBudget& budget,
+                               const std::vector<int>& order) {
+  // The order must name every module exactly once.
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> expected;
+  expected.reserve(sys.soc().modules.size());
+  for (const itc02::Module& m : sys.soc().modules) expected.push_back(m.id);
+  ensure(sorted == expected,
+         "plan_tests_with_order: order must be a permutation of all module ids");
+  return Planner(sys, budget, order).run();
+}
+
+}  // namespace nocsched::core

@@ -1,0 +1,46 @@
+#pragma once
+// The paper's contribution: greedy test planning for a NoC-based SoC
+// with reused embedded processors.
+//
+// Resources are the two external test interfaces (ATE input and output
+// ports) and every embedded processor.  Every test session occupies one
+// source, one sink (one processor may play both roles for the same
+// core), the two XY paths on the mesh, and a slice of the peak-power
+// budget.  A processor becomes available as a resource only after its
+// own test session has completed ("a processor is reused for test just
+// after it has been successfully tested").
+//
+// With ResourceChoice::kFirstAvailable the planner is event-driven and
+// takes, for the highest-priority pending core, whatever feasible
+// (source, sink) pair is free at the current instant, nearest pair
+// first — the paper's greedy rule, including its documented anomaly
+// (a free-but-slow processor is chosen even when the faster external
+// interface frees up moments later).  With kEarliestCompletion the
+// planner books each core into the (pair, start time) combination that
+// finishes earliest, which removes the anomaly (ablation A1).
+
+#include "core/schedule.hpp"
+#include "core/session_model.hpp"
+#include "core/system_model.hpp"
+#include "power/budget.hpp"
+
+namespace nocsched::core {
+
+/// Plan the complete test of `sys` under `budget`.
+/// Throws nocsched::Error when no feasible plan exists (e.g. the budget
+/// is below the cheapest feasible session of some core).
+[[nodiscard]] Schedule plan_tests(const SystemModel& sys, const power::PowerBudget& budget);
+
+/// Priority order of module ids under the system's PriorityPolicy;
+/// exposed for tests and reporting.
+[[nodiscard]] std::vector<int> priority_order(const SystemModel& sys);
+
+/// Plan with an explicit module order (must be a permutation of all
+/// module ids); only the offer sequence changes, every feasibility rule
+/// still applies.  Used by the multistart improver and by callers with
+/// domain knowledge.
+[[nodiscard]] Schedule plan_tests_with_order(const SystemModel& sys,
+                                             const power::PowerBudget& budget,
+                                             const std::vector<int>& order);
+
+}  // namespace nocsched::core

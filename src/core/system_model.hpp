@@ -1,0 +1,90 @@
+#pragma once
+// The system under test as the planner sees it: benchmark SoC, mesh,
+// floorplan, ATE attachment points, planner parameters, and the
+// precomputed per-module wrapper/test characterization.
+
+#include <string_view>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/placement.hpp"
+#include "itc02/builtin.hpp"
+#include "noc/mesh.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace nocsched::core {
+
+/// What a test source/sink endpoint is.
+enum class EndpointKind {
+  kAteInput,   ///< external tester input port (source only)
+  kAteOutput,  ///< external tester output port (sink only)
+  kProcessor,  ///< reused embedded processor (source and/or sink)
+};
+
+/// One attachment able to drive or observe test data.
+struct Endpoint {
+  EndpointKind kind = EndpointKind::kAteInput;
+  noc::RouterId router = 0;
+  int processor_module = -1;  ///< module id when kind == kProcessor
+  itc02::ProcessorKind cpu = itc02::ProcessorKind::kLeon;  ///< valid for processors
+
+  [[nodiscard]] bool is_processor() const { return kind == EndpointKind::kProcessor; }
+  [[nodiscard]] bool can_source() const { return kind != EndpointKind::kAteOutput; }
+  [[nodiscard]] bool can_sink() const { return kind != EndpointKind::kAteInput; }
+  [[nodiscard]] std::string name() const;
+};
+
+class SystemModel {
+ public:
+  /// Generic constructor.  `placement` must place every module exactly
+  /// once.  Processor kinds are deduced from module names ("leon_*",
+  /// "plasma_*"); unknown processor names throw.
+  SystemModel(itc02::Soc soc, noc::Mesh mesh, std::vector<CorePlacement> placement,
+              noc::RouterId ate_input, noc::RouterId ate_output, PlannerParams params);
+
+  /// One of the paper's evaluation systems: built-in SoC + `processors`
+  /// appended processor cores of `kind`, paper mesh dimensions, default
+  /// placement and ATE ports.
+  [[nodiscard]] static SystemModel paper_system(std::string_view soc_name,
+                                                itc02::ProcessorKind kind, int processors,
+                                                const PlannerParams& params);
+
+  [[nodiscard]] const itc02::Soc& soc() const { return soc_; }
+  [[nodiscard]] const noc::Mesh& mesh() const { return mesh_; }
+  [[nodiscard]] const PlannerParams& params() const { return params_; }
+
+  [[nodiscard]] noc::RouterId router_of(int module_id) const;
+  [[nodiscard]] noc::RouterId ate_input() const { return ate_input_; }
+  [[nodiscard]] noc::RouterId ate_output() const { return ate_output_; }
+
+  /// Resource table: index 0 = ATE input, 1 = ATE output, then one
+  /// entry per processor module in ascending module-id order.
+  [[nodiscard]] const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  /// Precomputed test phases of a module at params().wrapper_chains.
+  [[nodiscard]] const std::vector<wrapper::TestPhase>& phases(int module_id) const;
+
+  /// Hops from the module's router to the nearest endpoint (the paper's
+  /// priority metric: closer cores are tested first).
+  [[nodiscard]] int distance_to_nearest_endpoint(int module_id) const;
+
+  /// Core-side test length of the module (for priority policies and
+  /// lower bounds).
+  [[nodiscard]] std::uint64_t base_test_cycles(int module_id) const;
+
+ private:
+  [[nodiscard]] std::size_t module_index(int module_id) const;
+
+  itc02::Soc soc_;
+  noc::Mesh mesh_;
+  PlannerParams params_;
+  noc::RouterId ate_input_;
+  noc::RouterId ate_output_;
+  std::vector<noc::RouterId> router_by_index_;  // module id -> router
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::vector<wrapper::TestPhase>> phases_by_index_;
+  std::vector<std::uint64_t> base_cycles_by_index_;
+  std::vector<int> distance_by_index_;
+};
+
+}  // namespace nocsched::core

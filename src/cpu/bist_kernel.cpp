@@ -1,0 +1,216 @@
+#include "cpu/bist_kernel.hpp"
+
+#include "common/error.hpp"
+#include "cpu/leon.hpp"
+#include "cpu/mips_asm.hpp"
+#include "cpu/plasma.hpp"
+#include "cpu/sparc_asm.hpp"
+
+namespace nocsched::cpu {
+
+namespace {
+
+// Register allocation, MIPS ($t registers):
+//   $8 x   $9 i   $10/$11 tmp   $12 io base   $13 misr
+//   $14 patterns   $15 flits_in   $16 flits_out   $17 rx   $18 params
+std::vector<std::uint32_t> build_mips_kernel() {
+  mips::Assembler a;
+  a.li(18, kKernelParamsBase);
+  a.lw(14, 0, 18);   // patterns
+  a.lw(15, 4, 18);   // flits_in
+  a.lw(16, 8, 18);   // flits_out
+  a.lw(8, 12, 18);   // seed
+  a.addiu(13, 0, 0); // misr = 0
+  a.lui(12, 0xFFFF); // io base
+  a.blez(14, "done");
+  a.nop();
+
+  a.label("pattern_loop");
+  a.addu(9, 15, 0);  // i = flits_in
+  a.blez(9, "after_gen");
+  a.nop();
+  a.label("gen_loop");  // x = xorshift32(x); wait for TX ready; TX = x
+  a.sll(10, 8, 13);
+  a.xor_(8, 8, 10);
+  a.srl(10, 8, 17);
+  a.xor_(8, 8, 10);
+  a.sll(10, 8, 5);
+  a.xor_(8, 8, 10);
+  a.label("poll_tx");  // NI flow control: spin until TX accepts
+  a.lw(11, 12, 12);
+  a.blez(11, "poll_tx");
+  a.nop();
+  a.sw(8, 0, 12);
+  a.addiu(9, 9, -1);
+  a.bgtz(9, "gen_loop");
+  a.nop();
+
+  a.label("after_gen");
+  a.addu(9, 16, 0);  // i = flits_out
+  a.blez(9, "after_absorb");
+  a.nop();
+  a.label("absorb_loop");  // misr = rotl(misr,1) ^ RX
+  a.label("poll_rx");  // NI flow control: spin until RX has a flit
+  a.lw(11, 16, 12);
+  a.blez(11, "poll_rx");
+  a.nop();
+  a.lw(17, 4, 12);
+  a.sll(10, 13, 1);
+  a.srl(11, 13, 31);
+  a.or_(13, 10, 11);
+  a.xor_(13, 13, 17);
+  a.addiu(9, 9, -1);
+  a.bgtz(9, "absorb_loop");
+  a.nop();
+
+  a.label("after_absorb");
+  a.addiu(14, 14, -1);
+  a.bgtz(14, "pattern_loop");
+  a.nop();
+
+  a.label("done");
+  a.sw(13, 16, 18);   // publish MISR
+  a.addiu(10, 0, 1);
+  a.sw(10, 8, 12);    // HALT
+  a.label("spin");
+  a.beq(0, 0, "spin");
+  a.nop();
+  return a.finish();
+}
+
+// Register allocation, SPARC:
+//   %g1 x   %g2/%o3 tmp   %g3 misr   %g4 i   %g5 patterns
+//   %g6 flits_in   %g7 flits_out   %o0 io base   %o1 params   %o2 rx
+std::vector<std::uint32_t> build_sparc_kernel() {
+  sparc::Assembler a;
+  constexpr sparc::Reg x = 1, tmp = 2, misr = 3, i = 4, pat = 5, fi = 6, fo = 7;
+  constexpr sparc::Reg io = 8, par = 9, rx = 10, tmp2 = 11;
+
+  a.set32(par, kKernelParamsBase);
+  a.ld(pat, par, 0);
+  a.ld(fi, par, 4);
+  a.ld(fo, par, 8);
+  a.ld(x, par, 12);
+  a.or_imm(misr, sparc::kG0, 0);
+  a.set32(io, Memory::kIoBase);
+  a.orcc(sparc::kG0, pat, sparc::kG0);  // flags from patterns
+  a.ble("done");
+  a.nop();
+
+  a.label("pattern_loop");
+  a.orcc(i, fi, sparc::kG0);  // i = flits_in, flags from it
+  a.ble("after_gen");
+  a.nop();
+  a.label("gen_loop");
+  a.sll(tmp, x, 13);
+  a.xor_(x, x, tmp);
+  a.srl(tmp, x, 17);
+  a.xor_(x, x, tmp);
+  a.sll(tmp, x, 5);
+  a.xor_(x, x, tmp);
+  a.label("poll_tx");  // NI flow control: spin until TX accepts
+  a.ld(tmp2, io, 12);
+  a.orcc(sparc::kG0, tmp2, sparc::kG0);
+  a.ble("poll_tx");
+  a.nop();
+  a.st(x, io, 0);  // TX
+  a.subcc_imm(i, i, 1);
+  a.bg("gen_loop");
+  a.nop();
+
+  a.label("after_gen");
+  a.orcc(i, fo, sparc::kG0);
+  a.ble("after_absorb");
+  a.nop();
+  a.label("absorb_loop");
+  a.label("poll_rx");  // NI flow control: spin until RX has a flit
+  a.ld(tmp2, io, 16);
+  a.orcc(sparc::kG0, tmp2, sparc::kG0);
+  a.ble("poll_rx");
+  a.nop();
+  a.ld(rx, io, 4);  // RX
+  a.sll(tmp, misr, 1);
+  a.srl(tmp2, misr, 31);
+  a.or_(misr, tmp, tmp2);
+  a.xor_(misr, misr, rx);
+  a.subcc_imm(i, i, 1);
+  a.bg("absorb_loop");
+  a.nop();
+
+  a.label("after_absorb");
+  a.subcc_imm(pat, pat, 1);
+  a.bg("pattern_loop");
+  a.nop();
+
+  a.label("done");
+  a.st(misr, par, 16);
+  a.or_imm(tmp, sparc::kG0, 1);
+  a.st(tmp, io, 8);  // HALT
+  a.label("spin");
+  a.ba("spin");
+  a.nop();
+  return a.finish();
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> build_bist_kernel(itc02::ProcessorKind kind) {
+  switch (kind) {
+    case itc02::ProcessorKind::kLeon:
+      return build_sparc_kernel();
+    case itc02::ProcessorKind::kPlasma:
+      return build_mips_kernel();
+  }
+  fail("build_bist_kernel: unknown processor kind");
+}
+
+std::unique_ptr<Cpu> make_cpu(itc02::ProcessorKind kind, Memory& mem) {
+  switch (kind) {
+    case itc02::ProcessorKind::kLeon:
+      return std::make_unique<LeonCpu>(mem);
+    case itc02::ProcessorKind::kPlasma:
+      return std::make_unique<PlasmaCpu>(mem);
+  }
+  fail("make_cpu: unknown processor kind");
+}
+
+void load_kernel(itc02::ProcessorKind kind, Memory& mem, const KernelConfig& cfg) {
+  const std::vector<std::uint32_t> words = build_bist_kernel(kind);
+  std::uint32_t addr = kKernelCodeBase;
+  for (std::uint32_t w : words) {
+    mem.store_word(addr, w);
+    addr += 4;
+  }
+  ensure(addr <= kKernelParamsBase, "BIST kernel overflows into the parameter block");
+  mem.store_word(kKernelParamsBase + 0, cfg.patterns);
+  mem.store_word(kKernelParamsBase + 4, cfg.flits_in);
+  mem.store_word(kKernelParamsBase + 8, cfg.flits_out);
+  mem.store_word(kKernelParamsBase + 12, cfg.seed);
+  mem.store_word(kKernelMisrAddr, 0);
+}
+
+std::uint32_t kernel_misr(Memory& mem) { return mem.load_word(kKernelMisrAddr); }
+
+KernelRun run_kernel(itc02::ProcessorKind kind, const KernelConfig& cfg,
+                     std::vector<std::uint32_t> responses) {
+  RecordingInterface ni(std::move(responses));
+  Memory mem(kKernelMemoryBytes, &ni);
+  load_kernel(kind, mem, cfg);
+  const std::unique_ptr<Cpu> cpu = make_cpu(kind, mem);
+  cpu->reset(kKernelCodeBase);
+  // Generous bound: ~40 cycles per flit plus overheads.
+  const std::uint64_t flits =
+      std::uint64_t{cfg.patterns} * (std::uint64_t{cfg.flits_in} + cfg.flits_out);
+  const std::uint64_t bound = 10000 + 64 * flits + 64 * std::uint64_t{cfg.patterns};
+  ensure(cpu->run(bound), "BIST kernel did not halt within ", bound, " cycles (",
+         to_string(kind), ")");
+  KernelRun out;
+  out.cycles = cpu->cycles();
+  out.instructions = cpu->instructions();
+  out.misr = kernel_misr(mem);
+  out.injected = ni.injected();
+  out.consumed = ni.consumed();
+  return out;
+}
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,69 @@
+#pragma once
+// The embedded software-BIST test application (paper §2, step 2).
+//
+// "It can ... work as a test pattern generator emulating a pseudo-random
+// BIST logic."  The kernel below is that application: per test pattern
+// it generates `flits_in` stimulus flits with a 32-bit xorshift
+// generator and injects them into the NoC through the network-interface
+// TX register, then consumes `flits_out` response flits from RX and
+// compacts them into a rotating-XOR MISR.  With `flits_out == 0` the
+// processor acts as a pure test source; with `flits_in == 0` as a pure
+// sink; with both non-zero it plays both roles for the same core under
+// test.  The same program, hand-assembled for both ISAs, runs on the
+// Plasma (MIPS-I) and Leon (SPARC V8) simulators.
+//
+// Program memory map (both ISAs):
+//   0x0000  code
+//   0x1000  parameters: +0 patterns, +4 flits_in, +8 flits_out,
+//                       +12 seed, +16 MISR result (written at the end)
+
+#include <memory>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+#include "itc02/builtin.hpp"
+
+namespace nocsched::cpu {
+
+/// Kernel run parameters, written into the parameter block.
+struct KernelConfig {
+  std::uint32_t patterns = 1;
+  std::uint32_t flits_in = 0;   ///< stimulus flits generated per pattern
+  std::uint32_t flits_out = 0;  ///< response flits absorbed per pattern
+  std::uint32_t seed = 0xC0FFEE01u;
+};
+
+inline constexpr std::uint32_t kKernelCodeBase = 0x0000;
+inline constexpr std::uint32_t kKernelParamsBase = 0x1000;
+inline constexpr std::uint32_t kKernelMisrAddr = kKernelParamsBase + 16;
+inline constexpr std::size_t kKernelMemoryBytes = 64 * 1024;
+
+/// Assemble the kernel for `kind`; returns the program words (to be
+/// placed at kKernelCodeBase).
+[[nodiscard]] std::vector<std::uint32_t> build_bist_kernel(itc02::ProcessorKind kind);
+
+/// Create the matching simulator attached to `mem`.
+[[nodiscard]] std::unique_ptr<Cpu> make_cpu(itc02::ProcessorKind kind, Memory& mem);
+
+/// Write program and parameter block into `mem`.
+void load_kernel(itc02::ProcessorKind kind, Memory& mem, const KernelConfig& cfg);
+
+/// MISR signature the kernel left in memory after halting.
+[[nodiscard]] std::uint32_t kernel_misr(Memory& mem);
+
+/// Everything a complete kernel execution produced.
+struct KernelRun {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint32_t misr = 0;
+  std::vector<std::uint32_t> injected;  ///< stimulus flits sent to TX
+  std::vector<std::uint32_t> consumed;  ///< response flits read from RX
+};
+
+/// Load, run to halt and collect results.  `responses` scripts the RX
+/// stream (a counter serves any excess).  Throws if the program does
+/// not halt within a generous cycle bound.
+[[nodiscard]] KernelRun run_kernel(itc02::ProcessorKind kind, const KernelConfig& cfg,
+                                   std::vector<std::uint32_t> responses = {});
+
+}  // namespace nocsched::cpu

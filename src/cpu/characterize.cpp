@@ -1,0 +1,82 @@
+#include "cpu/characterize.hpp"
+
+namespace nocsched::cpu {
+
+namespace {
+
+// Modeled active power of the processor while executing the BIST
+// application, in the same units as the per-core test powers
+// (DESIGN.md §2: Leon is the larger core).
+double modeled_active_power(itc02::ProcessorKind kind) {
+  switch (kind) {
+    case itc02::ProcessorKind::kLeon:
+      return 700.0;
+    case itc02::ProcessorKind::kPlasma:
+      return 400.0;
+  }
+  return 0.0;
+}
+
+// Local data RAM the test application may use for per-pattern response
+// masks and expected signatures (paper step 2: the application is
+// "characterized in terms of time, memory requirements and power").
+// Modeled after typical on-chip RAM of the two soft cores: LEON2
+// integrations ship more block RAM than the small Plasma.
+std::uint64_t modeled_memory_bytes(itc02::ProcessorKind kind) {
+  switch (kind) {
+    case itc02::ProcessorKind::kLeon:
+      return 21 * 1024;
+    case itc02::ProcessorKind::kPlasma:
+      return 10 * 1024 + 512;
+  }
+  return 0;
+}
+
+std::uint64_t kernel_cycles(itc02::ProcessorKind kind, std::uint32_t patterns,
+                            std::uint32_t fi, std::uint32_t fo) {
+  return run_kernel(kind, KernelConfig{patterns, fi, fo, 0xC0FFEE01u}).cycles;
+}
+
+}  // namespace
+
+CpuCharacterization characterize(itc02::ProcessorKind kind) {
+  CpuCharacterization c;
+  c.kind = kind;
+  c.program_bytes = build_bist_kernel(kind).size() * 4;
+  c.memory_bytes = modeled_memory_bytes(kind);
+  c.active_power = modeled_active_power(kind);
+
+  // Marginal stimulus-flit cost: vary fi at fixed patterns.
+  constexpr std::uint32_t kP = 8;
+  const std::uint64_t src_lo = kernel_cycles(kind, kP, 32, 0);
+  const std::uint64_t src_hi = kernel_cycles(kind, kP, 64, 0);
+  c.cycles_per_stimulus_flit =
+      static_cast<double>(src_hi - src_lo) / (static_cast<double>(kP) * 32.0);
+
+  // Marginal response-flit cost: vary fo.
+  const std::uint64_t snk_lo = kernel_cycles(kind, kP, 0, 32);
+  const std::uint64_t snk_hi = kernel_cycles(kind, kP, 0, 64);
+  c.cycles_per_response_flit =
+      static_cast<double>(snk_hi - snk_lo) / (static_cast<double>(kP) * 32.0);
+
+  // Per-pattern loop overhead: vary patterns with no flits.
+  const std::uint64_t pat_lo = kernel_cycles(kind, 8, 0, 0);
+  const std::uint64_t pat_hi = kernel_cycles(kind, 24, 0, 0);
+  c.cycles_per_pattern_overhead = static_cast<double>(pat_hi - pat_lo) / 16.0;
+
+  const double setup =
+      static_cast<double>(pat_lo) - 8.0 * c.cycles_per_pattern_overhead;
+  c.setup_cycles = setup > 0.0 ? static_cast<std::uint64_t>(setup + 0.5) : 0;
+  return c;
+}
+
+double predict_cycles(const CpuCharacterization& c, std::uint32_t patterns,
+                      std::uint32_t flits_in, std::uint32_t flits_out) {
+  return static_cast<double>(c.setup_cycles) +
+         static_cast<double>(patterns) *
+             (c.cycles_per_pattern_overhead +
+              static_cast<double>(flits_in) * c.cycles_per_stimulus_flit +
+              static_cast<double>(flits_out) * c.cycles_per_response_flit);
+}
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,48 @@
+#pragma once
+// Processor characterization (paper §2, step 2).
+//
+// "The test application has to be characterized in terms of time,
+// memory requirements and power to each processor in the system reused
+// for test.  This step is necessary because the processors may have
+// different instruction-sets, times to run the test application and
+// power consumptions."
+//
+// characterize() runs the software-BIST kernel on the matching
+// instruction-set simulator with several parameter settings and fits
+// the linear cost model
+//
+//   cycles(p, fi, fo) = setup + p * (pattern_overhead
+//                                    + fi * cycles_per_stimulus_flit
+//                                    + fo * cycles_per_response_flit)
+//
+// whose coefficients the test planner consumes.  The marginal stimulus
+// cost lands near the paper's quoted "10 clock cycles to generate a
+// test pattern" (11-12 cycles per 32-bit flit on these cores).
+
+#include "cpu/bist_kernel.hpp"
+#include "itc02/builtin.hpp"
+
+namespace nocsched::cpu {
+
+/// Fitted cost model of the BIST application on one processor kind.
+struct CpuCharacterization {
+  itc02::ProcessorKind kind = itc02::ProcessorKind::kLeon;
+  double cycles_per_stimulus_flit = 0.0;  ///< marginal: generate + inject one flit
+  double cycles_per_response_flit = 0.0;  ///< marginal: consume + compact one flit
+  double cycles_per_pattern_overhead = 0.0;  ///< loop control per pattern
+  std::uint64_t setup_cycles = 0;            ///< program prologue
+  std::uint64_t program_bytes = 0;           ///< memory requirement of the kernel
+  std::uint64_t memory_bytes = 0;  ///< modeled local RAM available to the test app
+  double active_power = 0.0;  ///< modeled power draw while running the kernel
+};
+
+/// Measure the cost model by running the kernel on the simulator.
+/// Deterministic; takes a few hundred thousand simulated instructions.
+[[nodiscard]] CpuCharacterization characterize(itc02::ProcessorKind kind);
+
+/// Predicted kernel cycles for a given configuration under the fitted
+/// model (used by tests to cross-check against actual simulation).
+[[nodiscard]] double predict_cycles(const CpuCharacterization& c, std::uint32_t patterns,
+                                    std::uint32_t flits_in, std::uint32_t flits_out);
+
+}  // namespace nocsched::cpu

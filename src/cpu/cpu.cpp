@@ -1,0 +1,12 @@
+#include "cpu/cpu.hpp"
+
+namespace nocsched::cpu {
+
+bool Cpu::run(std::uint64_t max_cycles) {
+  while (!memory().halted() && cycles() < max_cycles) {
+    step();
+  }
+  return memory().halted();
+}
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,37 @@
+#pragma once
+// Common interface of the two instruction-set simulators.
+
+#include <cstdint>
+
+#include "cpu/machine.hpp"
+
+namespace nocsched::cpu {
+
+/// Abstract in-order, one-instruction-at-a-time CPU model with a simple
+/// documented cycle cost per instruction class (see plasma.hpp and
+/// leon.hpp).  Used to characterize the software-BIST test application.
+class Cpu {
+ public:
+  virtual ~Cpu() = default;
+
+  /// Reset architectural state and start execution at `pc`.
+  virtual void reset(std::uint32_t pc) = 0;
+
+  /// Execute one instruction (plus its delay-slot bookkeeping).
+  virtual void step() = 0;
+
+  /// Cycles consumed so far under the model's cost table.
+  [[nodiscard]] virtual std::uint64_t cycles() const = 0;
+
+  /// Instructions retired so far.
+  [[nodiscard]] virtual std::uint64_t instructions() const = 0;
+
+  /// The memory this CPU is attached to.
+  [[nodiscard]] virtual Memory& memory() = 0;
+
+  /// Step until the program halts (writes the HALT register) or
+  /// `max_cycles` elapse.  Returns true if the program halted.
+  bool run(std::uint64_t max_cycles);
+};
+
+}  // namespace nocsched::cpu

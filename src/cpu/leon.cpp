@@ -1,0 +1,251 @@
+#include "cpu/leon.hpp"
+
+#include "common/error.hpp"
+
+namespace nocsched::cpu {
+
+namespace {
+std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
+  const std::uint32_t mask = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ mask) - mask);
+}
+}  // namespace
+
+LeonCpu::LeonCpu(Memory& memory) : mem_(memory) {}
+
+void LeonCpu::reset(std::uint32_t pc) {
+  for (auto& r : globals_) r = 0;
+  for (auto& r : windowed_) r = 0;
+  cwp_ = 0;
+  icc_ = {};
+  pc_ = pc;
+  npc_ = pc + 4;
+  annul_next_ = false;
+  cycles_ = 0;
+  instructions_ = 0;
+}
+
+std::size_t LeonCpu::phys_index(unsigned index, unsigned cwp) const {
+  NOCSCHED_ASSERT(index >= 8 && index < 32);
+  const std::size_t span = 16 * kWindows;
+  if (index < 16) {  // %o0-%o7
+    return (static_cast<std::size_t>(cwp) * 16 + (index - 8)) % span;
+  }
+  if (index < 24) {  // %l0-%l7
+    return (static_cast<std::size_t>(cwp) * 16 + 8 + (index - 16)) % span;
+  }
+  // %i0-%i7 are the outs of the next window up.
+  return (static_cast<std::size_t>((cwp + 1) % kWindows) * 16 + (index - 24)) % span;
+}
+
+std::uint32_t LeonCpu::reg(unsigned index) const {
+  ensure(index < 32, "LeonCpu: bad register index ", index);
+  if (index == 0) return 0;
+  if (index < 8) return globals_[index];
+  return windowed_[phys_index(index, cwp_)];
+}
+
+void LeonCpu::set_reg(unsigned index, std::uint32_t value) {
+  NOCSCHED_ASSERT(index < 32);
+  if (index == 0) return;
+  if (index < 8) {
+    globals_[index] = value;
+  } else {
+    windowed_[phys_index(index, cwp_)] = value;
+  }
+}
+
+std::uint32_t LeonCpu::operand2(std::uint32_t instr) {
+  if (instr & (1u << 13)) {
+    return static_cast<std::uint32_t>(sign_extend(instr & 0x1FFFu, 13));
+  }
+  return reg(instr & 31u);
+}
+
+void LeonCpu::set_icc_addsub(std::uint32_t a, std::uint32_t b, std::uint32_t result,
+                             bool is_sub) {
+  icc_.n = (result >> 31) != 0;
+  icc_.z = result == 0;
+  if (is_sub) {
+    icc_.v = (((a ^ b) & (a ^ result)) >> 31) != 0;
+    icc_.c = a < b;  // borrow
+  } else {
+    icc_.v = ((~(a ^ b) & (a ^ result)) >> 31) != 0;
+    icc_.c = result < a;  // carry out
+  }
+}
+
+void LeonCpu::set_icc_logic(std::uint32_t result) {
+  icc_.n = (result >> 31) != 0;
+  icc_.z = result == 0;
+  icc_.v = false;
+  icc_.c = false;
+}
+
+bool LeonCpu::eval_cond(unsigned cond) const {
+  const bool n = icc_.n, z = icc_.z, v = icc_.v, c = icc_.c;
+  switch (cond & 0xF) {
+    case 0x0: return false;                 // bn
+    case 0x1: return z;                     // be
+    case 0x2: return z || (n != v);         // ble
+    case 0x3: return n != v;                // bl
+    case 0x4: return c || z;                // bleu
+    case 0x5: return c;                     // bcs
+    case 0x6: return n;                     // bneg
+    case 0x7: return v;                     // bvs
+    case 0x8: return true;                  // ba
+    case 0x9: return !z;                    // bne
+    case 0xA: return !(z || (n != v));      // bg
+    case 0xB: return n == v;                // bge
+    case 0xC: return !(c || z);             // bgu
+    case 0xD: return !c;                    // bcc
+    case 0xE: return !n;                    // bpos
+    case 0xF: return !v;                    // bvc
+  }
+  return false;
+}
+
+void LeonCpu::step() {
+  const std::uint32_t cur = pc_;
+  const std::uint32_t instr = mem_.load_word(cur);
+  pc_ = npc_;
+  npc_ = pc_ + 4;
+  cycles_ += 1;
+
+  if (annul_next_) {
+    // The delay-slot instruction is squashed: it consumes its fetch
+    // cycle but has no architectural effect and does not retire.
+    annul_next_ = false;
+    return;
+  }
+  instructions_ += 1;
+
+  const unsigned op = instr >> 30;
+  switch (op) {
+    case 0x1: {  // call
+      set_reg(15, cur);
+      npc_ = cur + (static_cast<std::uint32_t>(sign_extend(instr & 0x3FFFFFFFu, 30)) << 2);
+      cycles_ += 1;
+      return;
+    }
+    case 0x0: {  // format 2: sethi / Bicc
+      const unsigned op2 = (instr >> 22) & 0x7;
+      if (op2 == 0x4) {  // sethi
+        set_reg((instr >> 25) & 31, (instr & 0x3FFFFFu) << 10);
+        return;
+      }
+      if (op2 == 0x2) {  // Bicc
+        const bool annul = (instr >> 29) & 1;
+        const unsigned cond = (instr >> 25) & 0xF;
+        const bool taken = eval_cond(cond);
+        if (taken) {
+          npc_ = cur + (static_cast<std::uint32_t>(sign_extend(instr & 0x3FFFFFu, 22)) << 2);
+        }
+        const bool unconditional = cond == 0x8 || cond == 0x0;
+        if (annul && (unconditional || !taken)) annul_next_ = true;
+        return;
+      }
+      fail("LeonCpu: unsupported format-2 op2 ", op2, " at pc 0x", std::hex, cur);
+    }
+    case 0x2: {  // format 3: arithmetic / control
+      const unsigned rd = (instr >> 25) & 31;
+      const unsigned op3 = (instr >> 19) & 0x3F;
+      const unsigned rs1 = (instr >> 14) & 31;
+      const std::uint32_t a = reg(rs1);
+      const std::uint32_t b = operand2(instr);
+      switch (op3) {
+        case 0x00: set_reg(rd, a + b); return;                       // add
+        case 0x01: set_reg(rd, a & b); return;                       // and
+        case 0x02: set_reg(rd, a | b); return;                       // or
+        case 0x03: set_reg(rd, a ^ b); return;                       // xor
+        case 0x04: set_reg(rd, a - b); return;                       // sub
+        case 0x10: {                                                 // addcc
+          const std::uint32_t r = a + b;
+          set_icc_addsub(a, b, r, false);
+          set_reg(rd, r);
+          return;
+        }
+        case 0x11: {  // andcc
+          const std::uint32_t r = a & b;
+          set_icc_logic(r);
+          set_reg(rd, r);
+          return;
+        }
+        case 0x12: {  // orcc
+          const std::uint32_t r = a | b;
+          set_icc_logic(r);
+          set_reg(rd, r);
+          return;
+        }
+        case 0x13: {  // xorcc
+          const std::uint32_t r = a ^ b;
+          set_icc_logic(r);
+          set_reg(rd, r);
+          return;
+        }
+        case 0x14: {  // subcc
+          const std::uint32_t r = a - b;
+          set_icc_addsub(a, b, r, true);
+          set_reg(rd, r);
+          return;
+        }
+        case 0x25: set_reg(rd, a << (b & 31)); return;               // sll
+        case 0x26: set_reg(rd, a >> (b & 31)); return;               // srl
+        case 0x27:                                                    // sra
+          set_reg(rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31)));
+          return;
+        case 0x38: {  // jmpl
+          set_reg(rd, cur);
+          npc_ = a + b;
+          cycles_ += 1;
+          return;
+        }
+        case 0x3C: {  // save
+          const unsigned new_cwp = (cwp_ + kWindows - 1) % kWindows;
+          const std::uint32_t r = a + b;  // computed in the old window
+          cwp_ = new_cwp;
+          set_reg(rd, r);  // written in the new window
+          return;
+        }
+        case 0x3D: {  // restore
+          const unsigned new_cwp = (cwp_ + 1) % kWindows;
+          const std::uint32_t r = a + b;
+          cwp_ = new_cwp;
+          set_reg(rd, r);
+          return;
+        }
+        default:
+          fail("LeonCpu: unsupported op3 0x", std::hex, op3, " at pc 0x", cur);
+      }
+    }
+    case 0x3: {  // format 3: memory
+      const unsigned rd = (instr >> 25) & 31;
+      const unsigned op3 = (instr >> 19) & 0x3F;
+      const unsigned rs1 = (instr >> 14) & 31;
+      const std::uint32_t addr = reg(rs1) + operand2(instr);
+      switch (op3) {
+        case 0x00:  // ld
+          set_reg(rd, mem_.load_word(addr));
+          cycles_ += 1;
+          return;
+        case 0x01:  // ldub
+          set_reg(rd, mem_.load_byte(addr));
+          cycles_ += 1;
+          return;
+        case 0x04:  // st
+          mem_.store_word(addr, reg(rd));
+          cycles_ += 1;
+          return;
+        case 0x05:  // stb
+          mem_.store_byte(addr, static_cast<std::uint8_t>(reg(rd)));
+          cycles_ += 1;
+          return;
+        default:
+          fail("LeonCpu: unsupported memory op3 0x", std::hex, op3, " at pc 0x", cur);
+      }
+    }
+  }
+  fail("LeonCpu: unreachable decode at pc 0x", std::hex, cur);
+}
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,65 @@
+#pragma once
+// Instruction-set simulator for the Leon soft core (SPARC V8 integer
+// subset, big-endian), used to characterize the software-BIST test
+// application on a SPARC-class embedded processor.
+//
+// Supported: format-3 integer ALU ops (with and without icc update),
+// shifts, ld/st/ldub/stb, sethi, Bicc with annul semantics, call/jmpl,
+// and save/restore with real register windows (NWINDOWS = 8; window
+// over/underflow traps are not modeled and throw instead — the BIST
+// kernel is leaf code).  Unsupported encodings throw nocsched::Error.
+//
+// Cycle cost model (documented approximation of the LEON2 5-stage
+// pipeline with on-chip RAM): 1 cycle per instruction, +1 for loads,
+// +1 for stores, +1 for call/jmpl.  Branches resolve in the pipeline's
+// decode stage and cost 1 cycle; annulled delay slots still consume
+// their fetch cycle.
+
+#include "cpu/cpu.hpp"
+
+namespace nocsched::cpu {
+
+class LeonCpu final : public Cpu {
+ public:
+  static constexpr unsigned kWindows = 8;
+
+  explicit LeonCpu(Memory& memory);
+
+  void reset(std::uint32_t pc) override;
+  void step() override;
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions() const override { return instructions_; }
+  [[nodiscard]] Memory& memory() override { return mem_; }
+
+  /// Architectural register in the current window (%g0 reads as zero).
+  [[nodiscard]] std::uint32_t reg(unsigned index) const;
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  [[nodiscard]] unsigned cwp() const { return cwp_; }
+
+  /// Condition codes, exposed for tests.
+  struct Icc {
+    bool n = false, z = false, v = false, c = false;
+  };
+  [[nodiscard]] Icc icc() const { return icc_; }
+
+ private:
+  void set_reg(unsigned index, std::uint32_t value);
+  [[nodiscard]] std::size_t phys_index(unsigned index, unsigned cwp) const;
+  [[nodiscard]] std::uint32_t operand2(std::uint32_t instr);
+  void set_icc_addsub(std::uint32_t a, std::uint32_t b, std::uint32_t result, bool is_sub);
+  void set_icc_logic(std::uint32_t result);
+  [[nodiscard]] bool eval_cond(unsigned cond) const;
+
+  Memory& mem_;
+  std::uint32_t globals_[8] = {};
+  std::uint32_t windowed_[16 * kWindows] = {};
+  unsigned cwp_ = 0;
+  Icc icc_;
+  std::uint32_t pc_ = 0;
+  std::uint32_t npc_ = 4;
+  bool annul_next_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace nocsched::cpu

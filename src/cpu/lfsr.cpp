@@ -1,0 +1,22 @@
+#include "cpu/lfsr.hpp"
+
+namespace nocsched::cpu {
+
+std::vector<std::uint32_t> stimulus_stream(std::uint32_t seed, std::size_t count) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  std::uint32_t x = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    x = xorshift32_next(x);
+    out.push_back(x);
+  }
+  return out;
+}
+
+std::uint32_t misr_signature(std::uint32_t init, std::span<const std::uint32_t> flits) {
+  std::uint32_t misr = init;
+  for (std::uint32_t f : flits) misr = misr_fold(misr, f);
+  return misr;
+}
+
+}  // namespace nocsched::cpu

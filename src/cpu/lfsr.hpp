@@ -1,0 +1,37 @@
+#pragma once
+// Golden C++ models of the pattern generator and response compactor
+// implemented by the embedded software-BIST kernels.
+//
+// The kernels emulate "a test pattern generator emulating a
+// pseudo-random BIST logic" (paper §2): a 32-bit xorshift generator
+// produces stimulus flits (one 32-bit flit per step — the software
+// analogue of an LFSR slice) and a rotate-XOR MISR compacts response
+// flits into a signature.  These reference models verify the
+// instruction-set simulators bit-for-bit.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nocsched::cpu {
+
+/// One generator step (Marsaglia xorshift32, shifts 13/17/5).
+[[nodiscard]] constexpr std::uint32_t xorshift32_next(std::uint32_t x) {
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return x;
+}
+
+/// One MISR step: rotate-left-by-one then XOR the response flit in.
+[[nodiscard]] constexpr std::uint32_t misr_fold(std::uint32_t misr, std::uint32_t flit) {
+  return ((misr << 1) | (misr >> 31)) ^ flit;
+}
+
+/// The first `count` stimulus flits from `seed` (seed itself excluded).
+[[nodiscard]] std::vector<std::uint32_t> stimulus_stream(std::uint32_t seed, std::size_t count);
+
+/// MISR signature after folding `flits` into `init`.
+[[nodiscard]] std::uint32_t misr_signature(std::uint32_t init, std::span<const std::uint32_t> flits);
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,81 @@
+#include "cpu/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace nocsched::cpu {
+
+RecordingInterface::RecordingInterface(std::vector<std::uint32_t> responses)
+    : responses_(std::move(responses)) {}
+
+void RecordingInterface::inject_flit(std::uint32_t flit) { injected_.push_back(flit); }
+
+std::uint32_t RecordingInterface::consume_flit() {
+  std::uint32_t v = 0;
+  if (next_response_ < responses_.size()) {
+    v = responses_[next_response_++];
+  } else {
+    v = counter_++;
+  }
+  consumed_.push_back(v);
+  return v;
+}
+
+Memory::Memory(std::size_t bytes, Device* device) : ram_(bytes, 0), device_(device) {
+  ensure(bytes % 4 == 0 && bytes > 0, "Memory: size must be a positive word multiple");
+}
+
+bool Memory::is_io(std::uint32_t addr) const {
+  return addr >= kIoBase && addr <= kRxAvail;
+}
+
+void Memory::check_ram(std::uint32_t addr, std::uint32_t bytes) const {
+  ensure(addr + bytes <= ram_.size(), "Memory: access at 0x", std::hex, addr,
+         " outside RAM and IO ranges");
+}
+
+std::uint32_t Memory::load_word(std::uint32_t addr) {
+  ensure(addr % 4 == 0, "Memory: misaligned word load at 0x", std::hex, addr);
+  if (is_io(addr)) {
+    if (addr == kRx) {
+      ensure(device_ != nullptr, "Memory: RX read with no device attached");
+      return device_->consume_flit();
+    }
+    if (addr == kTxReady || addr == kRxAvail) return 1;  // rate-ideal NI
+    return 0;  // TX and HALT read as zero
+  }
+  check_ram(addr, 4);
+  return (std::uint32_t{ram_[addr]} << 24) | (std::uint32_t{ram_[addr + 1]} << 16) |
+         (std::uint32_t{ram_[addr + 2]} << 8) | std::uint32_t{ram_[addr + 3]};
+}
+
+void Memory::store_word(std::uint32_t addr, std::uint32_t value) {
+  ensure(addr % 4 == 0, "Memory: misaligned word store at 0x", std::hex, addr);
+  if (is_io(addr)) {
+    if (addr == kTx) {
+      ensure(device_ != nullptr, "Memory: TX write with no device attached");
+      device_->inject_flit(value);
+    } else if (addr == kHalt) {
+      halted_ = true;
+    }
+    return;
+  }
+  check_ram(addr, 4);
+  ram_[addr] = static_cast<std::uint8_t>(value >> 24);
+  ram_[addr + 1] = static_cast<std::uint8_t>(value >> 16);
+  ram_[addr + 2] = static_cast<std::uint8_t>(value >> 8);
+  ram_[addr + 3] = static_cast<std::uint8_t>(value);
+}
+
+std::uint8_t Memory::load_byte(std::uint32_t addr) {
+  if (is_io(addr)) return 0;
+  check_ram(addr, 1);
+  return ram_[addr];
+}
+
+void Memory::store_byte(std::uint32_t addr, std::uint8_t value) {
+  if (is_io(addr)) return;
+  check_ram(addr, 1);
+  ram_[addr] = value;
+}
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,96 @@
+#pragma once
+// Memory and network-interface model shared by the two instruction-set
+// simulators.
+//
+// The embedded test program ("software BIST") talks to the NoC network
+// interface through five memory-mapped registers:
+//
+//   0xFFFF0000  TX        write: inject one stimulus flit into the NoC
+//   0xFFFF0004  RX        read:  consume one response flit from the NoC
+//   0xFFFF0008  HALT      write: test program finished
+//   0xFFFF000C  TX_READY  read:  non-zero when TX can accept a flit
+//   0xFFFF0010  RX_AVAIL  read:  non-zero when RX holds a flit
+//
+// The kernels poll the status registers before every flit, as real NI
+// flow control requires.  The simulators are used for
+// *characterization* (counting cycles per flit), so the interface model
+// is rate-ideal: the statuses always read ready and the polls cost
+// exactly one iteration.  Sustained back-pressure is modeled at the
+// planner level, so the characterized rate is a best case
+// (DESIGN.md §2).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace nocsched::cpu {
+
+/// Network-interface endpoints seen by the test program.
+class Device {
+ public:
+  virtual ~Device() = default;
+  /// TX register write.
+  virtual void inject_flit(std::uint32_t flit) = 0;
+  /// RX register read.
+  virtual std::uint32_t consume_flit() = 0;
+};
+
+/// Records injected flits and serves scripted response flits; the
+/// default response source is a counter, which is enough for cycle
+/// characterization and lets tests verify MISR folding.
+class RecordingInterface final : public Device {
+ public:
+  RecordingInterface() = default;
+  explicit RecordingInterface(std::vector<std::uint32_t> responses);
+
+  void inject_flit(std::uint32_t flit) override;
+  std::uint32_t consume_flit() override;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& injected() const { return injected_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& consumed() const { return consumed_; }
+
+ private:
+  std::vector<std::uint32_t> injected_;
+  std::vector<std::uint32_t> responses_;  // scripted; counter when exhausted
+  std::vector<std::uint32_t> consumed_;
+  std::size_t next_response_ = 0;
+  std::uint32_t counter_ = 0x10000001;
+};
+
+/// Flat big-endian RAM plus the memory-mapped network interface.
+/// Both Plasma (MIPS) and Leon (SPARC V8) are big-endian machines.
+class Memory {
+ public:
+  static constexpr std::uint32_t kIoBase = 0xFFFF0000u;
+  static constexpr std::uint32_t kTx = kIoBase + 0x0;
+  static constexpr std::uint32_t kRx = kIoBase + 0x4;
+  static constexpr std::uint32_t kHalt = kIoBase + 0x8;
+  static constexpr std::uint32_t kTxReady = kIoBase + 0xC;
+  static constexpr std::uint32_t kRxAvail = kIoBase + 0x10;
+
+  /// RAM of `bytes` (word multiple); `device` may be null if the program
+  /// never touches the NI registers.
+  explicit Memory(std::size_t bytes, Device* device = nullptr);
+
+  [[nodiscard]] std::uint32_t load_word(std::uint32_t addr);
+  void store_word(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint8_t load_byte(std::uint32_t addr);
+  void store_byte(std::uint32_t addr, std::uint8_t value);
+
+  /// True once the program wrote the HALT register.
+  [[nodiscard]] bool halted() const { return halted_; }
+  void clear_halted() { halted_ = false; }
+
+  [[nodiscard]] std::size_t size() const { return ram_.size(); }
+
+ private:
+  [[nodiscard]] bool is_io(std::uint32_t addr) const;
+  void check_ram(std::uint32_t addr, std::uint32_t bytes) const;
+
+  std::vector<std::uint8_t> ram_;
+  Device* device_;
+  bool halted_ = false;
+};
+
+}  // namespace nocsched::cpu

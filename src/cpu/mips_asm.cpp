@@ -1,0 +1,148 @@
+#include "cpu/mips_asm.hpp"
+
+#include "common/error.hpp"
+
+namespace nocsched::cpu::mips {
+
+namespace {
+constexpr unsigned kSpecial = 0x00;
+void check_reg(Reg r) { ensure(r < 32, "mips asm: bad register ", int{r}); }
+}  // namespace
+
+void Assembler::label(const std::string& name) {
+  ensure(!labels_.contains(name), "mips asm: duplicate label '", name, "'");
+  labels_[name] = words_.size();
+}
+
+void Assembler::emit_r(unsigned funct, Reg rd, Reg rs, Reg rt, unsigned sh) {
+  check_reg(rd);
+  check_reg(rs);
+  check_reg(rt);
+  ensure(sh < 32, "mips asm: bad shift amount ", sh);
+  emit((kSpecial << 26) | (std::uint32_t{rs} << 21) | (std::uint32_t{rt} << 16) |
+       (std::uint32_t{rd} << 11) | (sh << 6) | funct);
+}
+
+void Assembler::emit_i(unsigned op, Reg rt, Reg rs, std::uint32_t imm16) {
+  check_reg(rt);
+  check_reg(rs);
+  emit((op << 26) | (std::uint32_t{rs} << 21) | (std::uint32_t{rt} << 16) | (imm16 & 0xFFFFu));
+}
+
+void Assembler::emit_branch(unsigned op, Reg rs, Reg rt, const std::string& target) {
+  fixups_.push_back({words_.size(), target, FixKind::kBranch});
+  emit_i(op, rt, rs, 0);
+}
+
+void Assembler::sll(Reg rd, Reg rt, unsigned sh) { emit_r(0x00, rd, 0, rt, sh); }
+void Assembler::srl(Reg rd, Reg rt, unsigned sh) { emit_r(0x02, rd, 0, rt, sh); }
+void Assembler::sra(Reg rd, Reg rt, unsigned sh) { emit_r(0x03, rd, 0, rt, sh); }
+void Assembler::sllv(Reg rd, Reg rt, Reg rs) { emit_r(0x04, rd, rs, rt); }
+void Assembler::srlv(Reg rd, Reg rt, Reg rs) { emit_r(0x06, rd, rs, rt); }
+void Assembler::addu(Reg rd, Reg rs, Reg rt) { emit_r(0x21, rd, rs, rt); }
+void Assembler::subu(Reg rd, Reg rs, Reg rt) { emit_r(0x23, rd, rs, rt); }
+void Assembler::and_(Reg rd, Reg rs, Reg rt) { emit_r(0x24, rd, rs, rt); }
+void Assembler::or_(Reg rd, Reg rs, Reg rt) { emit_r(0x25, rd, rs, rt); }
+void Assembler::xor_(Reg rd, Reg rs, Reg rt) { emit_r(0x26, rd, rs, rt); }
+void Assembler::nor_(Reg rd, Reg rs, Reg rt) { emit_r(0x27, rd, rs, rt); }
+void Assembler::slt(Reg rd, Reg rs, Reg rt) { emit_r(0x2A, rd, rs, rt); }
+void Assembler::sltu(Reg rd, Reg rs, Reg rt) { emit_r(0x2B, rd, rs, rt); }
+void Assembler::jr(Reg rs) { emit_r(0x08, 0, rs, 0); }
+
+void Assembler::addiu(Reg rt, Reg rs, std::int32_t imm) {
+  ensure(imm >= -32768 && imm <= 32767, "mips asm: addiu immediate out of range: ", imm);
+  emit_i(0x09, rt, rs, static_cast<std::uint32_t>(imm));
+}
+void Assembler::andi(Reg rt, Reg rs, std::uint32_t imm) {
+  ensure(imm <= 0xFFFF, "mips asm: andi immediate out of range");
+  emit_i(0x0C, rt, rs, imm);
+}
+void Assembler::ori(Reg rt, Reg rs, std::uint32_t imm) {
+  ensure(imm <= 0xFFFF, "mips asm: ori immediate out of range");
+  emit_i(0x0D, rt, rs, imm);
+}
+void Assembler::xori(Reg rt, Reg rs, std::uint32_t imm) {
+  ensure(imm <= 0xFFFF, "mips asm: xori immediate out of range");
+  emit_i(0x0E, rt, rs, imm);
+}
+void Assembler::lui(Reg rt, std::uint32_t imm) {
+  ensure(imm <= 0xFFFF, "mips asm: lui immediate out of range");
+  emit_i(0x0F, rt, 0, imm);
+}
+void Assembler::slti(Reg rt, Reg rs, std::int32_t imm) {
+  ensure(imm >= -32768 && imm <= 32767, "mips asm: slti immediate out of range: ", imm);
+  emit_i(0x0A, rt, rs, static_cast<std::uint32_t>(imm));
+}
+
+void Assembler::lw(Reg rt, std::int32_t offset, Reg base) {
+  ensure(offset >= -32768 && offset <= 32767, "mips asm: lw offset out of range");
+  emit_i(0x23, rt, base, static_cast<std::uint32_t>(offset));
+}
+void Assembler::sw(Reg rt, std::int32_t offset, Reg base) {
+  ensure(offset >= -32768 && offset <= 32767, "mips asm: sw offset out of range");
+  emit_i(0x2B, rt, base, static_cast<std::uint32_t>(offset));
+}
+void Assembler::lb(Reg rt, std::int32_t offset, Reg base) {
+  emit_i(0x20, rt, base, static_cast<std::uint32_t>(offset));
+}
+void Assembler::lbu(Reg rt, std::int32_t offset, Reg base) {
+  emit_i(0x24, rt, base, static_cast<std::uint32_t>(offset));
+}
+void Assembler::sb(Reg rt, std::int32_t offset, Reg base) {
+  emit_i(0x28, rt, base, static_cast<std::uint32_t>(offset));
+}
+
+void Assembler::beq(Reg rs, Reg rt, const std::string& target) {
+  emit_branch(0x04, rs, rt, target);
+}
+void Assembler::bne(Reg rs, Reg rt, const std::string& target) {
+  emit_branch(0x05, rs, rt, target);
+}
+void Assembler::blez(Reg rs, const std::string& target) { emit_branch(0x06, rs, 0, target); }
+void Assembler::bgtz(Reg rs, const std::string& target) { emit_branch(0x07, rs, 0, target); }
+
+void Assembler::j(const std::string& target) {
+  fixups_.push_back({words_.size(), target, FixKind::kJump});
+  emit(0x02u << 26);
+}
+void Assembler::jal(const std::string& target) {
+  fixups_.push_back({words_.size(), target, FixKind::kJump});
+  emit(0x03u << 26);
+}
+
+void Assembler::nop() { emit(0); }
+
+void Assembler::li(Reg rt, std::uint32_t value) {
+  if (value <= 0xFFFF) {
+    ori(rt, kZero, value);
+  } else if ((value & 0xFFFF) == 0) {
+    lui(rt, value >> 16);
+  } else {
+    lui(rt, value >> 16);
+    ori(rt, rt, value & 0xFFFF);
+  }
+}
+
+std::vector<std::uint32_t> Assembler::finish() {
+  for (const Fixup& fix : fixups_) {
+    const auto it = labels_.find(fix.label);
+    ensure(it != labels_.end(), "mips asm: undefined label '", fix.label, "'");
+    const std::size_t target = it->second;
+    if (fix.kind == FixKind::kBranch) {
+      // Branch displacement is relative to the delay slot (branch + 1).
+      const auto disp = static_cast<std::int64_t>(target) -
+                        (static_cast<std::int64_t>(fix.index) + 1);
+      ensure(disp >= -32768 && disp <= 32767, "mips asm: branch to '", fix.label,
+             "' out of range");
+      words_[fix.index] |= static_cast<std::uint32_t>(disp) & 0xFFFFu;
+    } else {
+      const std::uint32_t addr_words = static_cast<std::uint32_t>(target);
+      ensure(addr_words < (1u << 26), "mips asm: jump target out of range");
+      words_[fix.index] |= addr_words & 0x03FFFFFFu;
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+}  // namespace nocsched::cpu::mips

@@ -1,0 +1,88 @@
+#pragma once
+// Minimal two-pass MIPS-I assembler (subset) used to build the embedded
+// software-BIST kernel for the Plasma processor.  Encodes the classic
+// MIPS-I formats; labels are resolved at finish().
+//
+// Register numbers follow the MIPS convention (0 = $zero, 8..15 =
+// $t0..$t7, 31 = $ra); the kernel only relies on $zero being hardwired.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nocsched::cpu::mips {
+
+using Reg = std::uint8_t;
+
+inline constexpr Reg kZero = 0;
+
+class Assembler {
+ public:
+  /// Define `name` at the current position.
+  void label(const std::string& name);
+
+  // --- R-type -------------------------------------------------------
+  void sll(Reg rd, Reg rt, unsigned sh);
+  void srl(Reg rd, Reg rt, unsigned sh);
+  void sra(Reg rd, Reg rt, unsigned sh);
+  void sllv(Reg rd, Reg rt, Reg rs);
+  void srlv(Reg rd, Reg rt, Reg rs);
+  void addu(Reg rd, Reg rs, Reg rt);
+  void subu(Reg rd, Reg rs, Reg rt);
+  void and_(Reg rd, Reg rs, Reg rt);
+  void or_(Reg rd, Reg rs, Reg rt);
+  void xor_(Reg rd, Reg rs, Reg rt);
+  void nor_(Reg rd, Reg rs, Reg rt);
+  void slt(Reg rd, Reg rs, Reg rt);
+  void sltu(Reg rd, Reg rs, Reg rt);
+  void jr(Reg rs);
+
+  // --- I-type -------------------------------------------------------
+  void addiu(Reg rt, Reg rs, std::int32_t imm);
+  void andi(Reg rt, Reg rs, std::uint32_t imm);
+  void ori(Reg rt, Reg rs, std::uint32_t imm);
+  void xori(Reg rt, Reg rs, std::uint32_t imm);
+  void lui(Reg rt, std::uint32_t imm);
+  void slti(Reg rt, Reg rs, std::int32_t imm);
+  void lw(Reg rt, std::int32_t offset, Reg base);
+  void sw(Reg rt, std::int32_t offset, Reg base);
+  void lb(Reg rt, std::int32_t offset, Reg base);
+  void lbu(Reg rt, std::int32_t offset, Reg base);
+  void sb(Reg rt, std::int32_t offset, Reg base);
+  void beq(Reg rs, Reg rt, const std::string& target);
+  void bne(Reg rs, Reg rt, const std::string& target);
+  void blez(Reg rs, const std::string& target);
+  void bgtz(Reg rs, const std::string& target);
+
+  // --- J-type and pseudo-ops ----------------------------------------
+  void j(const std::string& target);
+  void jal(const std::string& target);
+  void nop();
+  /// li: load a full 32-bit constant (lui+ori, or single op when short).
+  void li(Reg rt, std::uint32_t value);
+
+  /// Resolve labels and return the finished words (base address 0).
+  [[nodiscard]] std::vector<std::uint32_t> finish();
+
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+
+ private:
+  enum class FixKind { kBranch, kJump };
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+    FixKind kind;
+  };
+
+  void emit(std::uint32_t word) { words_.push_back(word); }
+  void emit_r(unsigned funct, Reg rd, Reg rs, Reg rt, unsigned sh = 0);
+  void emit_i(unsigned op, Reg rt, Reg rs, std::uint32_t imm16);
+  void emit_branch(unsigned op, Reg rs, Reg rt, const std::string& target);
+
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace nocsched::cpu::mips

@@ -1,0 +1,141 @@
+#include "cpu/plasma.hpp"
+
+#include "common/error.hpp"
+
+namespace nocsched::cpu {
+
+namespace {
+std::int32_t sign16(std::uint32_t imm) {
+  return static_cast<std::int16_t>(imm & 0xFFFFu);
+}
+}  // namespace
+
+PlasmaCpu::PlasmaCpu(Memory& memory) : mem_(memory) {}
+
+void PlasmaCpu::reset(std::uint32_t pc) {
+  for (auto& r : r_) r = 0;
+  pc_ = pc;
+  next_pc_ = pc + 4;
+  cycles_ = 0;
+  instructions_ = 0;
+}
+
+std::uint32_t PlasmaCpu::reg(unsigned index) const {
+  ensure(index < 32, "PlasmaCpu: bad register index ", index);
+  return index == 0 ? 0 : r_[index];
+}
+
+void PlasmaCpu::set_reg(unsigned index, std::uint32_t value) {
+  NOCSCHED_ASSERT(index < 32);
+  if (index != 0) r_[index] = value;
+}
+
+void PlasmaCpu::take_branch(std::uint32_t target) {
+  // The instruction in the delay slot (at the current next_pc_ - 4 + 4)
+  // still executes; control transfers after it.
+  next_pc_ = target;
+  cycles_ += 1;  // fetch bubble
+}
+
+void PlasmaCpu::step() {
+  const std::uint32_t cur = pc_;
+  const std::uint32_t instr = mem_.load_word(cur);
+  pc_ = next_pc_;
+  next_pc_ = pc_ + 4;
+
+  const unsigned op = instr >> 26;
+  const unsigned rs = (instr >> 21) & 31;
+  const unsigned rt = (instr >> 16) & 31;
+  const unsigned rd = (instr >> 11) & 31;
+  const unsigned sh = (instr >> 6) & 31;
+  const std::uint32_t imm = instr & 0xFFFFu;
+  const std::int32_t simm = sign16(imm);
+
+  cycles_ += 1;
+  instructions_ += 1;
+
+  switch (op) {
+    case 0x00: {  // SPECIAL
+      const unsigned funct = instr & 0x3F;
+      switch (funct) {
+        case 0x00: set_reg(rd, reg(rt) << sh); break;                       // sll
+        case 0x02: set_reg(rd, reg(rt) >> sh); break;                       // srl
+        case 0x03: set_reg(rd, static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(reg(rt)) >> sh)); break;   // sra
+        case 0x04: set_reg(rd, reg(rt) << (reg(rs) & 31)); break;           // sllv
+        case 0x06: set_reg(rd, reg(rt) >> (reg(rs) & 31)); break;           // srlv
+        case 0x07: set_reg(rd, static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(reg(rt)) >> (reg(rs) & 31))); break;  // srav
+        case 0x08: take_branch(reg(rs)); break;                             // jr
+        case 0x09: set_reg(rd == 0 ? 31 : rd, cur + 8); take_branch(reg(rs)); break;  // jalr
+        case 0x21: set_reg(rd, reg(rs) + reg(rt)); break;                   // addu
+        case 0x23: set_reg(rd, reg(rs) - reg(rt)); break;                   // subu
+        case 0x24: set_reg(rd, reg(rs) & reg(rt)); break;                   // and
+        case 0x25: set_reg(rd, reg(rs) | reg(rt)); break;                   // or
+        case 0x26: set_reg(rd, reg(rs) ^ reg(rt)); break;                   // xor
+        case 0x27: set_reg(rd, ~(reg(rs) | reg(rt))); break;                // nor
+        case 0x2A: set_reg(rd, static_cast<std::int32_t>(reg(rs)) <
+                                   static_cast<std::int32_t>(reg(rt)) ? 1 : 0); break;  // slt
+        case 0x2B: set_reg(rd, reg(rs) < reg(rt) ? 1 : 0); break;           // sltu
+        default:
+          fail("PlasmaCpu: unsupported SPECIAL funct 0x", std::hex, funct, " at pc 0x", cur);
+      }
+      break;
+    }
+    case 0x02: take_branch((cur & 0xF0000000u) | ((instr & 0x03FFFFFFu) << 2)); break;  // j
+    case 0x03:                                                                          // jal
+      set_reg(31, cur + 8);
+      take_branch((cur & 0xF0000000u) | ((instr & 0x03FFFFFFu) << 2));
+      break;
+    case 0x04:  // beq
+      if (reg(rs) == reg(rt)) take_branch(cur + 4 + (static_cast<std::uint32_t>(simm) << 2));
+      break;
+    case 0x05:  // bne
+      if (reg(rs) != reg(rt)) take_branch(cur + 4 + (static_cast<std::uint32_t>(simm) << 2));
+      break;
+    case 0x06:  // blez
+      if (static_cast<std::int32_t>(reg(rs)) <= 0) {
+        take_branch(cur + 4 + (static_cast<std::uint32_t>(simm) << 2));
+      }
+      break;
+    case 0x07:  // bgtz
+      if (static_cast<std::int32_t>(reg(rs)) > 0) {
+        take_branch(cur + 4 + (static_cast<std::uint32_t>(simm) << 2));
+      }
+      break;
+    case 0x09: set_reg(rt, reg(rs) + static_cast<std::uint32_t>(simm)); break;  // addiu
+    case 0x0A: set_reg(rt, static_cast<std::int32_t>(reg(rs)) < simm ? 1 : 0); break;  // slti
+    case 0x0B: set_reg(rt, reg(rs) < static_cast<std::uint32_t>(simm) ? 1 : 0); break; // sltiu
+    case 0x0C: set_reg(rt, reg(rs) & imm); break;                            // andi
+    case 0x0D: set_reg(rt, reg(rs) | imm); break;                            // ori
+    case 0x0E: set_reg(rt, reg(rs) ^ imm); break;                            // xori
+    case 0x0F: set_reg(rt, imm << 16); break;                                // lui
+    case 0x23:                                                               // lw
+      set_reg(rt, mem_.load_word(reg(rs) + static_cast<std::uint32_t>(simm)));
+      cycles_ += 1;
+      break;
+    case 0x20: {  // lb
+      const std::uint8_t b = mem_.load_byte(reg(rs) + static_cast<std::uint32_t>(simm));
+      set_reg(rt, static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int8_t>(b))));
+      cycles_ += 1;
+      break;
+    }
+    case 0x24:  // lbu
+      set_reg(rt, mem_.load_byte(reg(rs) + static_cast<std::uint32_t>(simm)));
+      cycles_ += 1;
+      break;
+    case 0x2B:  // sw
+      mem_.store_word(reg(rs) + static_cast<std::uint32_t>(simm), reg(rt));
+      cycles_ += 1;
+      break;
+    case 0x28:  // sb
+      mem_.store_byte(reg(rs) + static_cast<std::uint32_t>(simm),
+                      static_cast<std::uint8_t>(reg(rt)));
+      cycles_ += 1;
+      break;
+    default:
+      fail("PlasmaCpu: unsupported opcode 0x", std::hex, op, " at pc 0x", cur);
+  }
+}
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,48 @@
+#pragma once
+// Instruction-set simulator for the Plasma soft core (MIPS-I integer
+// subset, big-endian), used to characterize the software-BIST test
+// application on a MIPS-class embedded processor.
+//
+// Supported: the MIPS-I integer ALU ops (register and immediate forms),
+// shifts (immediate and variable), slt/sltu family, lw/sw/lb/lbu/sb,
+// beq/bne/blez/bgtz, j/jal/jr, lui.  Branch delay slots follow MIPS-I
+// semantics.  Unsupported encodings throw nocsched::Error (the kernels
+// never use them, and silent misexecution would corrupt
+// characterization).
+//
+// Cycle cost model (documented approximation of the 2/3-stage Plasma
+// with single-port on-chip RAM): 1 cycle per instruction, +1 for loads
+// and stores (memory port contention), +1 for taken branches and jumps
+// (fetch bubble).
+
+#include "cpu/cpu.hpp"
+
+namespace nocsched::cpu {
+
+class PlasmaCpu final : public Cpu {
+ public:
+  explicit PlasmaCpu(Memory& memory);
+
+  void reset(std::uint32_t pc) override;
+  void step() override;
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions() const override { return instructions_; }
+  [[nodiscard]] Memory& memory() override { return mem_; }
+
+  /// Architectural register read (r0 is hardwired to zero).
+  [[nodiscard]] std::uint32_t reg(unsigned index) const;
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+
+ private:
+  void set_reg(unsigned index, std::uint32_t value);
+  void take_branch(std::uint32_t target);
+
+  Memory& mem_;
+  std::uint32_t r_[32] = {};
+  std::uint32_t pc_ = 0;
+  std::uint32_t next_pc_ = 4;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace nocsched::cpu

@@ -1,0 +1,124 @@
+#include "cpu/sparc_asm.hpp"
+
+#include "common/error.hpp"
+
+namespace nocsched::cpu::sparc {
+
+namespace {
+void check_reg(Reg r) { ensure(r < 32, "sparc asm: bad register ", int{r}); }
+void check_simm13(std::int32_t v) {
+  ensure(v >= -4096 && v <= 4095, "sparc asm: simm13 out of range: ", v);
+}
+}  // namespace
+
+void Assembler::label(const std::string& name) {
+  ensure(!labels_.contains(name), "sparc asm: duplicate label '", name, "'");
+  labels_[name] = words_.size();
+}
+
+void Assembler::sethi(Reg rd, std::uint32_t imm22) {
+  check_reg(rd);
+  ensure(imm22 < (1u << 22), "sparc asm: sethi immediate out of range");
+  emit((std::uint32_t{rd} << 25) | (0x4u << 22) | imm22);
+}
+
+void Assembler::nop() { sethi(kG0, 0); }
+
+void Assembler::branch(Cond cond, const std::string& target, bool annul) {
+  fixups_.push_back({words_.size(), target, /*is_call=*/false});
+  emit((annul ? 1u << 29 : 0u) | (std::uint32_t{static_cast<std::uint8_t>(cond)} << 25) |
+       (0x2u << 22));
+}
+
+void Assembler::emit_f3(unsigned op, unsigned op3, Reg rd, Reg rs1, Reg rs2) {
+  check_reg(rd);
+  check_reg(rs1);
+  check_reg(rs2);
+  emit((std::uint32_t{op} << 30) | (std::uint32_t{rd} << 25) | (std::uint32_t{op3} << 19) |
+       (std::uint32_t{rs1} << 14) | rs2);
+}
+
+void Assembler::emit_f3_imm(unsigned op, unsigned op3, Reg rd, Reg rs1, std::int32_t simm13) {
+  check_reg(rd);
+  check_reg(rs1);
+  check_simm13(simm13);
+  emit((std::uint32_t{op} << 30) | (std::uint32_t{rd} << 25) | (std::uint32_t{op3} << 19) |
+       (std::uint32_t{rs1} << 14) | (1u << 13) | (static_cast<std::uint32_t>(simm13) & 0x1FFFu));
+}
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x00, rd, rs1, rs2); }
+void Assembler::add_imm(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x00, rd, rs1, s); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x04, rd, rs1, rs2); }
+void Assembler::sub_imm(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x04, rd, rs1, s); }
+void Assembler::subcc(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x14, rd, rs1, rs2); }
+void Assembler::subcc_imm(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x14, rd, rs1, s); }
+void Assembler::addcc(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x10, rd, rs1, rs2); }
+void Assembler::orcc(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x12, rd, rs1, rs2); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x01, rd, rs1, rs2); }
+void Assembler::and_imm(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x01, rd, rs1, s); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x02, rd, rs1, rs2); }
+void Assembler::or_imm(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x02, rd, rs1, s); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x03, rd, rs1, rs2); }
+void Assembler::xor_imm(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x03, rd, rs1, s); }
+
+void Assembler::sll(Reg rd, Reg rs1, unsigned shcnt) {
+  ensure(shcnt < 32, "sparc asm: shift count out of range");
+  emit_f3_imm(2, 0x25, rd, rs1, static_cast<std::int32_t>(shcnt));
+}
+void Assembler::srl(Reg rd, Reg rs1, unsigned shcnt) {
+  ensure(shcnt < 32, "sparc asm: shift count out of range");
+  emit_f3_imm(2, 0x26, rd, rs1, static_cast<std::int32_t>(shcnt));
+}
+void Assembler::sra(Reg rd, Reg rs1, unsigned shcnt) {
+  ensure(shcnt < 32, "sparc asm: shift count out of range");
+  emit_f3_imm(2, 0x27, rd, rs1, static_cast<std::int32_t>(shcnt));
+}
+void Assembler::sll_reg(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x25, rd, rs1, rs2); }
+void Assembler::srl_reg(Reg rd, Reg rs1, Reg rs2) { emit_f3(2, 0x26, rd, rs1, rs2); }
+
+void Assembler::ld(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(3, 0x00, rd, rs1, s); }
+void Assembler::st(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(3, 0x04, rd, rs1, s); }
+void Assembler::ldub(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(3, 0x01, rd, rs1, s); }
+void Assembler::stb(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(3, 0x05, rd, rs1, s); }
+
+void Assembler::call(const std::string& target) {
+  fixups_.push_back({words_.size(), target, /*is_call=*/true});
+  emit(0x1u << 30);
+}
+
+void Assembler::jmpl(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x38, rd, rs1, s); }
+void Assembler::save(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x3C, rd, rs1, s); }
+void Assembler::restore(Reg rd, Reg rs1, std::int32_t s) { emit_f3_imm(2, 0x3D, rd, rs1, s); }
+
+void Assembler::set32(Reg rd, std::uint32_t value) {
+  const std::uint32_t hi = value >> 10;
+  const std::uint32_t lo = value & 0x3FFu;
+  if (lo == 0) {
+    sethi(rd, hi);
+  } else if (value < 4096) {
+    or_imm(rd, kG0, static_cast<std::int32_t>(value));
+  } else {
+    sethi(rd, hi);
+    or_imm(rd, rd, static_cast<std::int32_t>(lo));
+  }
+}
+
+std::vector<std::uint32_t> Assembler::finish() {
+  for (const Fixup& fix : fixups_) {
+    const auto it = labels_.find(fix.label);
+    ensure(it != labels_.end(), "sparc asm: undefined label '", fix.label, "'");
+    const auto disp = static_cast<std::int64_t>(it->second) -
+                      static_cast<std::int64_t>(fix.index);
+    if (fix.is_call) {
+      words_[fix.index] |= static_cast<std::uint32_t>(disp) & 0x3FFFFFFFu;
+    } else {
+      ensure(disp >= -(1 << 21) && disp < (1 << 21), "sparc asm: branch to '", fix.label,
+             "' out of range");
+      words_[fix.index] |= static_cast<std::uint32_t>(disp) & 0x3FFFFFu;
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+}  // namespace nocsched::cpu::sparc

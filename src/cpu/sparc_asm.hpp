@@ -1,0 +1,110 @@
+#pragma once
+// Minimal two-pass SPARC V8 assembler (subset) used to build the
+// embedded software-BIST kernel for the Leon processor.
+//
+// Register numbering is the architectural 0..31 = %g0-%g7, %o0-%o7,
+// %l0-%l7, %i0-%i7 (%g0 hardwired to zero).  Conditional branches have
+// an optional annul flag with V8 semantics.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nocsched::cpu::sparc {
+
+using Reg = std::uint8_t;
+
+inline constexpr Reg kG0 = 0;
+
+/// Bicc condition codes (icc).
+enum class Cond : std::uint8_t {
+  kNever = 0x0,
+  kEqual = 0x1,          // be
+  kLessOrEqual = 0x2,    // ble
+  kLess = 0x3,           // bl
+  kLessOrEqualU = 0x4,   // bleu
+  kCarrySet = 0x5,       // bcs
+  kNegative = 0x6,       // bneg
+  kOverflowSet = 0x7,    // bvs
+  kAlways = 0x8,         // ba
+  kNotEqual = 0x9,       // bne
+  kGreater = 0xA,        // bg
+  kGreaterOrEqual = 0xB, // bge
+  kGreaterU = 0xC,       // bgu
+  kCarryClear = 0xD,     // bcc
+  kPositive = 0xE,       // bpos
+  kOverflowClear = 0xF,  // bvc
+};
+
+class Assembler {
+ public:
+  void label(const std::string& name);
+
+  // --- Format 2 -------------------------------------------------------
+  void sethi(Reg rd, std::uint32_t imm22);
+  void nop();  // sethi 0, %g0
+  void branch(Cond cond, const std::string& target, bool annul = false);
+  void ba(const std::string& target, bool annul = false) { branch(Cond::kAlways, target, annul); }
+  void be(const std::string& target) { branch(Cond::kEqual, target); }
+  void bne(const std::string& target) { branch(Cond::kNotEqual, target); }
+  void bg(const std::string& target) { branch(Cond::kGreater, target); }
+  void ble(const std::string& target) { branch(Cond::kLessOrEqual, target); }
+
+  // --- Format 3, arithmetic/logic --------------------------------------
+  // Register-register and register-immediate forms; `cc` variants set icc.
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void add_imm(Reg rd, Reg rs1, std::int32_t simm13);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sub_imm(Reg rd, Reg rs1, std::int32_t simm13);
+  void subcc(Reg rd, Reg rs1, Reg rs2);
+  void subcc_imm(Reg rd, Reg rs1, std::int32_t simm13);
+  void addcc(Reg rd, Reg rs1, Reg rs2);
+  void orcc(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void and_imm(Reg rd, Reg rs1, std::int32_t simm13);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void or_imm(Reg rd, Reg rs1, std::int32_t simm13);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void xor_imm(Reg rd, Reg rs1, std::int32_t simm13);
+  void sll(Reg rd, Reg rs1, unsigned shcnt);
+  void srl(Reg rd, Reg rs1, unsigned shcnt);
+  void sra(Reg rd, Reg rs1, unsigned shcnt);
+  void sll_reg(Reg rd, Reg rs1, Reg rs2);
+  void srl_reg(Reg rd, Reg rs1, Reg rs2);
+
+  // --- Format 3, memory -------------------------------------------------
+  void ld(Reg rd, Reg rs1, std::int32_t simm13);
+  void st(Reg rd_source, Reg rs1, std::int32_t simm13);
+  void ldub(Reg rd, Reg rs1, std::int32_t simm13);
+  void stb(Reg rd_source, Reg rs1, std::int32_t simm13);
+
+  // --- Control ----------------------------------------------------------
+  void call(const std::string& target);
+  void jmpl(Reg rd, Reg rs1, std::int32_t simm13);
+  void save(Reg rd, Reg rs1, std::int32_t simm13);
+  void restore(Reg rd, Reg rs1, std::int32_t simm13);
+
+  /// Load any 32-bit constant (sethi, or when needed sethi+or).
+  void set32(Reg rd, std::uint32_t value);
+
+  [[nodiscard]] std::vector<std::uint32_t> finish();
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+
+ private:
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+    bool is_call;
+  };
+
+  void emit(std::uint32_t w) { words_.push_back(w); }
+  void emit_f3(unsigned op, unsigned op3, Reg rd, Reg rs1, Reg rs2);
+  void emit_f3_imm(unsigned op, unsigned op3, Reg rd, Reg rs1, std::int32_t simm13);
+
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace nocsched::cpu::sparc

@@ -1,0 +1,59 @@
+#pragma once
+// Built-in benchmark systems used by the paper's evaluation.
+//
+// * d695 uses the per-core data published for the ITC'02 SoC Test
+//   Benchmarks (terminal counts, scan chains, pattern counts from
+//   Iyengar/Chakrabarty/Marinissen, JETTA 2002) and the per-core peak
+//   test power values used throughout the power-aware test scheduling
+//   literature.
+// * p22810 and p93791 are deterministic reconstructions (this build is
+//   offline): the same module counts as the real SoCs (28 and 32 cores),
+//   size distributions dominated by a few large cores, and aggregate
+//   test volume calibrated so the external-test-only baselines land in
+//   the ranges of the paper's Figure 1 axes.  See DESIGN.md §2.
+// * The Leon (SPARC V8) and Plasma (MIPS-I) processor cores carry the
+//   self-test characterization the paper's step 2 requires: a processor
+//   may be reused as a test source/sink only after its own test
+//   completes.
+
+#include <string_view>
+
+#include "itc02/soc.hpp"
+
+namespace nocsched::itc02 {
+
+/// The two open processor cores evaluated by the paper.
+enum class ProcessorKind {
+  kLeon,    ///< Leon, SPARC V8 compatible (gaisler.com)
+  kPlasma,  ///< Plasma, MIPS-I compatible (opencores.org)
+};
+
+/// Human-readable name ("leon" / "plasma").
+[[nodiscard]] std::string_view to_string(ProcessorKind kind);
+
+/// The 10-core d695 system (literature data).
+[[nodiscard]] Soc builtin_d695();
+
+/// 28-core reconstruction of p22810 (see header comment).
+[[nodiscard]] Soc builtin_p22810();
+
+/// 32-core reconstruction of p93791 (see header comment).
+[[nodiscard]] Soc builtin_p93791();
+
+/// Lookup by name ("d695", "p22810", "p93791"); throws on unknown name.
+[[nodiscard]] Soc builtin_by_name(std::string_view name);
+
+/// Names of all built-in systems, in paper order.
+[[nodiscard]] std::vector<std::string> builtin_names();
+
+/// A processor core module of the given kind.  `id` is the module id it
+/// receives in the host SoC; `ordinal` is the 1-based index used in the
+/// module name ("leon_1", "leon_2", ...).
+[[nodiscard]] Module processor_module(ProcessorKind kind, int id, int ordinal);
+
+/// Returns `base` with `count` processor cores of `kind` appended, named
+/// "<kind>_1".."<kind>_count", and the SoC renamed "<base>_<kind>".
+/// This builds the paper's d695_leon / p22810_plasma / ... systems.
+[[nodiscard]] Soc with_processors(Soc base, ProcessorKind kind, int count);
+
+}  // namespace nocsched::itc02

@@ -1,0 +1,31 @@
+#pragma once
+// Parser for the ITC'02-style `.soc` text format used by this repo.
+//
+// Grammar (line oriented; '#' starts a comment; blank lines ignored):
+//
+//   SocName <identifier>
+//   TotalModules <N>
+//   Module <id> '<name>' Inputs <n> Outputs <n> Bidirs <n> TestPower <p> [Processor <0|1>]
+//     ScanChains <k> [: <len_1> ... <len_k>]
+//     Test <index> Patterns <count> ScanUse <0|1>
+//
+// Each `Module` header is followed by exactly one `ScanChains` line and
+// one or more `Test` lines.  `TotalModules` must match the number of
+// `Module` blocks.  This mirrors the structure of the original ITC'02
+// files (module terminals, scan chains, tests with pattern counts); see
+// DESIGN.md for how the bundled data files were obtained.
+
+#include <string_view>
+
+#include "itc02/soc.hpp"
+
+namespace nocsched::itc02 {
+
+/// Parse a complete `.soc` document.  The result is validate()d.
+/// Throws nocsched::Error with a line number on any syntax error.
+[[nodiscard]] Soc parse(std::string_view text);
+
+/// Read and parse a `.soc` file from disk.
+[[nodiscard]] Soc load_file(const std::string& path);
+
+}  // namespace nocsched::itc02

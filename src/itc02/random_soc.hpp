@@ -1,0 +1,31 @@
+#pragma once
+// Seeded random SoC generation for property-based testing.
+//
+// Property suites sweep the planner over hundreds of generated systems
+// and assert structural invariants (every schedule validates, power cap
+// respected, and so on).  The generator is deterministic from the Rng
+// seed so failures reproduce exactly.
+
+#include "common/rng.hpp"
+#include "itc02/soc.hpp"
+
+namespace nocsched::itc02 {
+
+/// Bounds for random SoC generation.
+struct RandomSocSpec {
+  std::size_t min_cores = 4;
+  std::size_t max_cores = 24;
+  std::uint32_t max_scan_flops = 2000;  ///< per core
+  std::uint32_t max_scan_chains = 16;
+  std::uint32_t max_terminals = 128;  ///< inputs and outputs, each
+  std::uint32_t min_patterns = 1;
+  std::uint32_t max_patterns = 300;
+  double max_power = 1000.0;
+  double combinational_fraction = 0.2;  ///< cores without scan
+  double multi_test_fraction = 0.15;    ///< cores with two tests
+};
+
+/// Generate a valid random SoC named "rand_<n>"; always validate()s.
+[[nodiscard]] Soc random_soc(Rng& rng, const RandomSocSpec& spec = {});
+
+}  // namespace nocsched::itc02

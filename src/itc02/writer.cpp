@@ -1,0 +1,67 @@
+#include "itc02/writer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nocsched::itc02 {
+
+namespace {
+
+// Shortest representation that parses back to the same double.
+std::string double_text(double v) {
+  // Integral values (the common case for benchmark powers) print plainly.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_text(const Soc& soc) {
+  validate(soc);
+  std::ostringstream out;
+  out << "# ITC'02-style SoC test benchmark description.\n";
+  out << "# See DESIGN.md for data provenance.\n";
+  out << "SocName " << soc.name << "\n";
+  out << "TotalModules " << soc.modules.size() << "\n";
+  for (const Module& m : soc.modules) {
+    out << "\nModule " << m.id << " '" << m.name << "' Inputs " << m.inputs << " Outputs "
+        << m.outputs << " Bidirs " << m.bidirs << " TestPower " << double_text(m.test_power);
+    if (m.is_processor) out << " Processor 1";
+    out << "\n";
+    out << "  ScanChains " << m.scan_chains.size();
+    if (!m.scan_chains.empty()) {
+      out << " :";
+      for (std::uint32_t len : m.scan_chains) out << ' ' << len;
+    }
+    out << "\n";
+    int index = 1;
+    for (const CoreTest& t : m.tests) {
+      out << "  Test " << index++ << " Patterns " << t.patterns << " ScanUse "
+          << (t.uses_scan ? 1 : 0) << "\n";
+    }
+  }
+  return out.str();
+}
+
+void save_file(const Soc& soc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ensure(out.good(), "cannot open '", path, "' for writing");
+  out << to_text(soc);
+  out.flush();
+  ensure(out.good(), "I/O error while writing '", path, "'");
+}
+
+}  // namespace nocsched::itc02

@@ -1,0 +1,17 @@
+#pragma once
+// Serializer for the `.soc` format; inverse of itc02::parse.
+
+#include <string>
+
+#include "itc02/soc.hpp"
+
+namespace nocsched::itc02 {
+
+/// Render `soc` as a `.soc` document.  `parse(to_text(soc)) == soc`
+/// holds for every valid SoC (round-trip property, tested).
+[[nodiscard]] std::string to_text(const Soc& soc);
+
+/// Write `to_text(soc)` to `path`; throws nocsched::Error on I/O failure.
+void save_file(const Soc& soc, const std::string& path);
+
+}  // namespace nocsched::itc02

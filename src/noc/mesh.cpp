@@ -1,0 +1,73 @@
+#include "noc/mesh.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace nocsched::noc {
+
+Mesh::Mesh(int cols, int rows) : cols_(cols), rows_(rows) {
+  ensure(cols >= 1 && rows >= 1, "Mesh: dimensions must be >= 1 (got ", cols, "x", rows, ")");
+  const int n = cols * rows;
+  channel_index_.assign(static_cast<std::size_t>(n) * n, -1);
+  auto add_channel = [&](RouterId from, RouterId to) {
+    channel_index_[static_cast<std::size_t>(from) * n + to] =
+        static_cast<ChannelId>(channel_from_.size());
+    channel_from_.push_back(from);
+    channel_to_.push_back(to);
+  };
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < cols; ++x) {
+      const RouterId r = router_at(x, y);
+      if (x + 1 < cols) {
+        add_channel(r, router_at(x + 1, y));
+        add_channel(router_at(x + 1, y), r);
+      }
+      if (y + 1 < rows) {
+        add_channel(r, router_at(x, y + 1));
+        add_channel(router_at(x, y + 1), r);
+      }
+    }
+  }
+}
+
+RouterId Mesh::router_at(int x, int y) const {
+  ensure(x >= 0 && x < cols_ && y >= 0 && y < rows_, "Mesh: position (", x, ",", y,
+         ") outside ", cols_, "x", rows_, " grid");
+  return y * cols_ + x;
+}
+
+Coord Mesh::coord_of(RouterId r) const {
+  check_router(r);
+  return Coord{r % cols_, r / cols_};
+}
+
+ChannelId Mesh::channel_between(RouterId from, RouterId to) const {
+  check_router(from);
+  check_router(to);
+  const ChannelId c = channel_index_[static_cast<std::size_t>(from) * router_count() + to];
+  ensure(c >= 0, "Mesh: routers ", from, " and ", to, " are not adjacent");
+  return c;
+}
+
+RouterId Mesh::channel_source(ChannelId c) const {
+  ensure(c >= 0 && c < channel_count(), "Mesh: bad channel id ", c);
+  return channel_from_[static_cast<std::size_t>(c)];
+}
+
+RouterId Mesh::channel_target(ChannelId c) const {
+  ensure(c >= 0 && c < channel_count(), "Mesh: bad channel id ", c);
+  return channel_to_[static_cast<std::size_t>(c)];
+}
+
+int Mesh::hop_count(RouterId a, RouterId b) const {
+  const Coord ca = coord_of(a);
+  const Coord cb = coord_of(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+void Mesh::check_router(RouterId r) const {
+  ensure(r >= 0 && r < router_count(), "Mesh: bad router id ", r);
+}
+
+}  // namespace nocsched::noc

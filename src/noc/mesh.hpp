@@ -1,0 +1,67 @@
+#pragma once
+// 2D mesh (grid) network-on-chip topology.
+//
+// The paper's tool "supports NoCs based on grid topology using XY
+// routing".  Routers are addressed by (x, y) with x in [0, cols) and
+// y in [0, rows); each pair of adjacent routers is connected by two
+// directed channels (one per direction).  Cores and the external test
+// interfaces attach to routers through local ports, which are not
+// shared resources (each attached core has its own).
+
+#include <cstdint>
+#include <vector>
+
+namespace nocsched::noc {
+
+/// Dense router index; -1 is "no router".
+using RouterId = int;
+
+/// Dense directed-channel index.
+using ChannelId = int;
+
+/// Grid coordinates of a router.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class Mesh {
+ public:
+  /// Build a cols x rows mesh; both dimensions must be >= 1.
+  Mesh(int cols, int rows);
+
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int router_count() const { return cols_ * rows_; }
+  [[nodiscard]] int channel_count() const { return static_cast<int>(channel_to_.size()); }
+
+  /// Router at grid position (x, y); throws if out of range.
+  [[nodiscard]] RouterId router_at(int x, int y) const;
+
+  /// Grid position of `r`; throws if out of range.
+  [[nodiscard]] Coord coord_of(RouterId r) const;
+
+  /// Directed channel from `from` to an adjacent router `to`; throws if
+  /// the routers are not neighbours.
+  [[nodiscard]] ChannelId channel_between(RouterId from, RouterId to) const;
+
+  /// Endpoints of a channel.
+  [[nodiscard]] RouterId channel_source(ChannelId c) const;
+  [[nodiscard]] RouterId channel_target(ChannelId c) const;
+
+  /// Manhattan distance between two routers.
+  [[nodiscard]] int hop_count(RouterId a, RouterId b) const;
+
+ private:
+  void check_router(RouterId r) const;
+
+  int cols_;
+  int rows_;
+  std::vector<RouterId> channel_from_;
+  std::vector<RouterId> channel_to_;
+  // channel_index_[from * router_count + to] or -1.
+  std::vector<ChannelId> channel_index_;
+};
+
+}  // namespace nocsched::noc

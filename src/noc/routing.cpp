@@ -1,0 +1,23 @@
+#include "noc/routing.hpp"
+
+namespace nocsched::noc {
+
+std::vector<ChannelId> xy_route(const Mesh& mesh, RouterId from, RouterId to) {
+  Coord at = mesh.coord_of(from);
+  const Coord dst = mesh.coord_of(to);
+  std::vector<ChannelId> route;
+  route.reserve(static_cast<std::size_t>(mesh.hop_count(from, to)));
+  while (at.x != dst.x) {
+    const int nx = at.x + (dst.x > at.x ? 1 : -1);
+    route.push_back(mesh.channel_between(mesh.router_at(at.x, at.y), mesh.router_at(nx, at.y)));
+    at.x = nx;
+  }
+  while (at.y != dst.y) {
+    const int ny = at.y + (dst.y > at.y ? 1 : -1);
+    route.push_back(mesh.channel_between(mesh.router_at(at.x, at.y), mesh.router_at(at.x, ny)));
+    at.y = ny;
+  }
+  return route;
+}
+
+}  // namespace nocsched::noc

@@ -1,0 +1,17 @@
+#include "power/budget.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nocsched::power {
+
+PowerBudget PowerBudget::unconstrained() { return PowerBudget{}; }
+
+PowerBudget PowerBudget::fraction_of_total(const itc02::Soc& soc, double fraction) {
+  ensure(std::isfinite(fraction) && fraction > 0.0,
+         "PowerBudget: fraction must be positive and finite, got ", fraction);
+  return PowerBudget{soc.total_test_power() * fraction};
+}
+
+}  // namespace nocsched::power

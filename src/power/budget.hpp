@@ -1,0 +1,31 @@
+#pragma once
+// Peak-power budget definition.
+//
+// The paper: "This constraint is defined as a percentage of the sum of
+// all cores power consumption.  Thus, for example, a power limit of 50%
+// indicates that the power limit corresponds to half of the sum of all
+// cores power consumption in test mode."
+
+#include <limits>
+
+#include "itc02/soc.hpp"
+
+namespace nocsched::power {
+
+struct PowerBudget {
+  /// Absolute peak power the schedule may draw at any instant.
+  double limit = std::numeric_limits<double>::infinity();
+
+  /// No constraint (the paper's "no power limit" series).
+  [[nodiscard]] static PowerBudget unconstrained();
+
+  /// `fraction` of the sum of all module test powers (the paper's "50%
+  /// power limit" uses fraction = 0.5).  Requires fraction > 0.
+  [[nodiscard]] static PowerBudget fraction_of_total(const itc02::Soc& soc, double fraction);
+
+  [[nodiscard]] bool is_constrained() const {
+    return limit != std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace nocsched::power

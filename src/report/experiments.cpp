@@ -1,0 +1,121 @@
+#include "report/experiments.hpp"
+
+#include <sstream>
+
+#include "common/ascii_chart.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched::report {
+
+namespace {
+
+bool same_fraction(const std::optional<double>& a, const std::optional<double>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a.has_value() || *a == *b;
+}
+
+}  // namespace
+
+std::uint64_t ReuseSweep::time_at(int processors,
+                                  std::optional<double> power_fraction) const {
+  for (const SweepPoint& p : points) {
+    if (p.processors == processors && same_fraction(p.power_fraction, power_fraction)) {
+      return p.test_time;
+    }
+  }
+  fail("ReuseSweep: no point for ", processors, " processors");
+}
+
+double ReuseSweep::reduction_at(int processors, std::optional<double> power_fraction) const {
+  const double base = static_cast<double>(time_at(0, power_fraction));
+  const double now = static_cast<double>(time_at(processors, power_fraction));
+  return 1.0 - now / base;
+}
+
+ReuseSweep run_reuse_sweep(std::string_view soc_name, itc02::ProcessorKind kind,
+                           std::span<const int> processor_counts,
+                           std::span<const std::optional<double>> power_fractions,
+                           const core::PlannerParams& params) {
+  ReuseSweep sweep;
+  sweep.soc_name = std::string(soc_name);
+  sweep.kind = kind;
+  for (int procs : processor_counts) {
+    const core::SystemModel sys = core::SystemModel::paper_system(soc_name, kind, procs, params);
+    for (const std::optional<double>& fraction : power_fractions) {
+      const power::PowerBudget budget =
+          fraction ? power::PowerBudget::fraction_of_total(sys.soc(), *fraction)
+                   : power::PowerBudget::unconstrained();
+      const core::Schedule schedule = core::plan_tests(sys, budget);
+      sim::validate_or_throw(sys, schedule);
+      SweepPoint point;
+      point.processors = procs;
+      point.power_fraction = fraction;
+      point.test_time = schedule.makespan;
+      point.peak_power = schedule.peak_power;
+      point.sessions = schedule.sessions.size();
+      sweep.points.push_back(point);
+    }
+  }
+  return sweep;
+}
+
+ReuseSweep run_paper_panel(std::string_view soc_name, itc02::ProcessorKind kind,
+                           const core::PlannerParams& params) {
+  std::vector<int> counts = {0, 2, 4, 6};
+  if (soc_name != "d695") counts.push_back(8);
+  const std::vector<std::optional<double>> fractions = {std::optional<double>(0.5),
+                                                        std::nullopt};
+  return run_reuse_sweep(soc_name, kind, counts, fractions, params);
+}
+
+std::string proc_label(int processors) {
+  return processors == 0 ? "noproc" : cat(processors, "proc");
+}
+
+std::string figure_panel(const ReuseSweep& sweep) {
+  // Collect the distinct settings in first-seen order.
+  std::vector<int> counts;
+  std::vector<std::optional<double>> fractions;
+  for (const SweepPoint& p : sweep.points) {
+    if (std::find(counts.begin(), counts.end(), p.processors) == counts.end()) {
+      counts.push_back(p.processors);
+    }
+    bool found = false;
+    for (const auto& f : fractions) found = found || same_fraction(f, p.power_fraction);
+    if (!found) fractions.push_back(p.power_fraction);
+  }
+  std::vector<std::string> series;
+  series.reserve(fractions.size());
+  for (const auto& f : fractions) {
+    series.push_back(f ? cat(static_cast<int>(*f * 100.0 + 0.5), "% power limit")
+                       : std::string("no power limit"));
+  }
+  BarChart chart(cat(sweep.soc_name, " / ", to_string(sweep.kind),
+                     " — test time vs reused processors"),
+                 series);
+  for (int c : counts) {
+    std::vector<double> values;
+    values.reserve(fractions.size());
+    for (const auto& f : fractions) {
+      values.push_back(static_cast<double>(sweep.time_at(c, f)));
+    }
+    chart.add_group(proc_label(c), values);
+  }
+  return chart.render();
+}
+
+std::string sweep_csv(const ReuseSweep& sweep) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"soc", "cpu", "processors", "power_limit", "test_time", "peak_power",
+                      "sessions"});
+  for (const SweepPoint& p : sweep.points) {
+    csv.row_of(sweep.soc_name, std::string(to_string(sweep.kind)), p.processors,
+               p.power_fraction ? cat(*p.power_fraction) : std::string("none"),
+               p.test_time, cat(p.peak_power), p.sessions);
+  }
+  return out.str();
+}
+
+}  // namespace nocsched::report

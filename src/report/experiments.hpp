@@ -1,0 +1,69 @@
+#pragma once
+// Experiment driver for the paper's evaluation.
+//
+// Figure 1 of the paper sweeps, per system (d695/p22810/p93791) and per
+// processor kind (Leon/Plasma), the number of reused processors
+// (noproc, 2, 4, 6[, 8]) under two power settings (50% limit, none) and
+// reports the resulting system test time.  run_reuse_sweep() runs that
+// grid through the planner, validating every schedule, and the
+// rendering helpers print the same series as the figure.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+
+namespace nocsched::report {
+
+/// One planner run in a sweep.
+struct SweepPoint {
+  int processors = 0;
+  /// Power limit as a fraction of total core test power; nullopt = the
+  /// paper's "no power limit" series.
+  std::optional<double> power_fraction;
+  std::uint64_t test_time = 0;
+  double peak_power = 0.0;
+  std::size_t sessions = 0;
+};
+
+/// Results of one panel (one system x one processor kind).
+struct ReuseSweep {
+  std::string soc_name;
+  itc02::ProcessorKind kind = itc02::ProcessorKind::kLeon;
+  std::vector<SweepPoint> points;
+
+  /// Test time of (processors, fraction); throws if the point is absent.
+  [[nodiscard]] std::uint64_t time_at(int processors,
+                                      std::optional<double> power_fraction) const;
+
+  /// 1 - time/baseline where baseline is the 0-processor point of the
+  /// same power setting (the paper's "test time reduction").
+  [[nodiscard]] double reduction_at(int processors,
+                                    std::optional<double> power_fraction) const;
+};
+
+/// Run the sweep.  Every schedule is validated with sim::validate
+/// before its numbers are reported (throws on any violation).
+[[nodiscard]] ReuseSweep run_reuse_sweep(std::string_view soc_name, itc02::ProcessorKind kind,
+                                         std::span<const int> processor_counts,
+                                         std::span<const std::optional<double>> power_fractions,
+                                         const core::PlannerParams& params);
+
+/// The paper's grid for one system ("noproc..6proc" for d695,
+/// "..8proc" otherwise; 50% and unconstrained).
+[[nodiscard]] ReuseSweep run_paper_panel(std::string_view soc_name, itc02::ProcessorKind kind,
+                                         const core::PlannerParams& params);
+
+/// Figure-1-style grouped bar panel.
+[[nodiscard]] std::string figure_panel(const ReuseSweep& sweep);
+
+/// Machine-readable CSV (soc, kind, processors, power, time, peak).
+[[nodiscard]] std::string sweep_csv(const ReuseSweep& sweep);
+
+/// Label used on the x axis: "noproc", "2proc", ...
+[[nodiscard]] std::string proc_label(int processors);
+
+}  // namespace nocsched::report

@@ -1,0 +1,93 @@
+#include "report/schedule_json.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace nocsched::report {
+
+namespace {
+
+// Minimal JSON string escaping (module names are benign, but be safe).
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << std::setprecision(15) << v;
+  return os.str();
+}
+
+const char* kind_name(core::EndpointKind kind) {
+  switch (kind) {
+    case core::EndpointKind::kAteInput:
+      return "ate_input";
+    case core::EndpointKind::kAteOutput:
+      return "ate_output";
+    case core::EndpointKind::kProcessor:
+      return "processor";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string schedule_json(const core::SystemModel& sys, const core::Schedule& schedule) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"soc\": " << json_string(sys.soc().name) << ",\n";
+  out << "  \"makespan\": " << schedule.makespan << ",\n";
+  out << "  \"peak_power\": " << json_number(schedule.peak_power) << ",\n";
+  out << "  \"power_limit\": ";
+  if (std::isfinite(schedule.power_limit)) {
+    out << json_number(schedule.power_limit);
+  } else {
+    out << "null";
+  }
+  out << ",\n";
+
+  out << "  \"resources\": [\n";
+  const auto& eps = sys.endpoints();
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    out << "    {\"index\": " << i << ", \"name\": " << json_string(eps[i].name())
+        << ", \"kind\": \"" << kind_name(eps[i].kind) << "\", \"router\": " << eps[i].router
+        << "}" << (i + 1 < eps.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"sessions\": [\n";
+  for (std::size_t i = 0; i < schedule.sessions.size(); ++i) {
+    const core::Session& s = schedule.sessions[i];
+    out << "    {\"module\": " << s.module_id << ", \"name\": "
+        << json_string(sys.soc().module(s.module_id).name)
+        << ", \"source\": " << s.source_resource << ", \"sink\": " << s.sink_resource
+        << ", \"start\": " << s.start << ", \"end\": " << s.end
+        << ", \"power\": " << json_number(s.power)
+        << ", \"hops_in\": " << s.path_in.size()
+        << ", \"hops_out\": " << s.path_out.size() << "}"
+        << (i + 1 < schedule.sessions.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace nocsched::report

@@ -1,0 +1,25 @@
+#pragma once
+// JSON export of a test plan, for downstream tooling (waveform viewers,
+// spreadsheet import, regression diffing).  Self-contained emitter; the
+// schema is documented in the implementation and stable.
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+
+namespace nocsched::report {
+
+/// Serialize the plan as a JSON object:
+/// {
+///   "soc": "...", "makespan": N, "peak_power": X, "power_limit": X|null,
+///   "resources": [{"index":0,"name":"ATE-in","kind":"ate_input","router":R}, ...],
+///   "sessions": [{"module":id,"name":"...","source":i,"sink":j,
+///                 "start":a,"end":b,"power":p,
+///                 "hops_in":n,"hops_out":m}, ...]
+/// }
+/// Sessions appear in start order.  Output ends with a newline.
+[[nodiscard]] std::string schedule_json(const core::SystemModel& sys,
+                                        const core::Schedule& schedule);
+
+}  // namespace nocsched::report

@@ -1,0 +1,94 @@
+#include "report/schedule_text.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace nocsched::report {
+
+std::string schedule_table(const core::SystemModel& sys, const core::Schedule& schedule) {
+  std::ostringstream out;
+  out << "test plan for " << sys.soc().name << " — " << schedule.sessions.size()
+      << " sessions, makespan " << with_commas(schedule.makespan) << " cycles, peak power "
+      << schedule.peak_power << "\n";
+  out << std::left << std::setw(6) << "start" << "  " << std::setw(22) << "module"
+      << std::setw(12) << "source" << std::setw(12) << "sink" << std::right << std::setw(12)
+      << "start" << std::setw(12) << "end" << std::setw(12) << "cycles" << std::setw(10)
+      << "power" << "\n";
+  const auto& eps = sys.endpoints();
+  std::size_t row = 0;
+  for (const core::Session& s : schedule.sessions) {
+    const itc02::Module& m = sys.soc().module(s.module_id);
+    out << std::left << std::setw(6) << row++ << "  " << std::setw(22)
+        << cat(m.id, ":", m.name) << std::setw(12)
+        << eps[static_cast<std::size_t>(s.source_resource)].name() << std::setw(12)
+        << eps[static_cast<std::size_t>(s.sink_resource)].name() << std::right
+        << std::setw(12) << s.start << std::setw(12) << s.end << std::setw(12)
+        << s.duration() << std::setw(10) << s.power << "\n";
+  }
+  return out.str();
+}
+
+std::string gantt(const core::SystemModel& sys, const core::Schedule& schedule,
+                  std::size_t width) {
+  std::ostringstream out;
+  if (schedule.makespan == 0 || width == 0) return "(empty schedule)\n";
+  const auto& eps = sys.endpoints();
+  const double scale = static_cast<double>(width) / static_cast<double>(schedule.makespan);
+  std::size_t name_w = 0;
+  for (const auto& ep : eps) name_w = std::max(name_w, ep.name().size());
+
+  for (std::size_t r = 0; r < eps.size(); ++r) {
+    std::string lane(width, '.');
+    for (const core::Session& s : schedule.sessions) {
+      if (s.source_resource != static_cast<int>(r) && s.sink_resource != static_cast<int>(r)) {
+        continue;
+      }
+      auto b = static_cast<std::size_t>(static_cast<double>(s.start) * scale);
+      auto e = static_cast<std::size_t>(static_cast<double>(s.end) * scale);
+      if (e <= b) e = b + 1;
+      e = std::min(e, width);
+      // Mark with the last digit of the module id so adjacent sessions
+      // are distinguishable.
+      const char mark = static_cast<char>('0' + s.module_id % 10);
+      for (std::size_t i = b; i < e; ++i) lane[i] = mark;
+    }
+    out << std::left << std::setw(static_cast<int>(name_w)) << eps[r].name() << " |" << lane
+        << "|\n";
+  }
+  out << "0" << std::string(width > 8 ? width - 8 : 0, ' ') << std::right << std::setw(8)
+      << with_commas(schedule.makespan) << "\n";
+  return out.str();
+}
+
+std::string utilization_summary(const core::SystemModel& sys,
+                                const core::Schedule& schedule) {
+  std::ostringstream out;
+  const auto& eps = sys.endpoints();
+  out << "resource utilization (makespan " << with_commas(schedule.makespan) << "):\n";
+  for (std::size_t r = 0; r < eps.size(); ++r) {
+    std::uint64_t busy = 0;
+    std::size_t used = 0;
+    for (const core::Session& s : schedule.sessions) {
+      if (s.source_resource == static_cast<int>(r) ||
+          s.sink_resource == static_cast<int>(r)) {
+        busy += s.duration();
+        ++used;
+      }
+    }
+    const double pct = schedule.makespan == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(busy) /
+                                 static_cast<double>(schedule.makespan);
+    out << "  " << std::left << std::setw(12) << eps[r].name() << std::right << std::setw(4)
+        << used << " sessions  " << std::setw(12) << with_commas(busy) << " busy cycles  "
+        << std::fixed << std::setprecision(1) << std::setw(5) << pct << "%\n";
+    out.unsetf(std::ios::fixed);
+  }
+  return out.str();
+}
+
+}  // namespace nocsched::report

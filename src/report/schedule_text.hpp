@@ -1,0 +1,25 @@
+#pragma once
+// Human-readable renderings of a test plan: session table, per-resource
+// Gantt chart, utilization summary.
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+
+namespace nocsched::report {
+
+/// One line per session: module, interfaces, window, power.
+[[nodiscard]] std::string schedule_table(const core::SystemModel& sys,
+                                         const core::Schedule& schedule);
+
+/// ASCII Gantt chart, one lane per resource, `width` characters for the
+/// whole makespan.
+[[nodiscard]] std::string gantt(const core::SystemModel& sys, const core::Schedule& schedule,
+                                std::size_t width = 72);
+
+/// Per-resource busy time and share of the makespan.
+[[nodiscard]] std::string utilization_summary(const core::SystemModel& sys,
+                                              const core::Schedule& schedule);
+
+}  // namespace nocsched::report

@@ -1,0 +1,210 @@
+#include "sim/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/session_model.hpp"
+#include "noc/routing.hpp"
+#include "power/profile.hpp"
+
+namespace nocsched::sim {
+
+namespace {
+
+bool near(double a, double b) { return std::abs(a - b) <= 1e-6 * (std::abs(a) + std::abs(b) + 1.0); }
+
+bool module_exists(const itc02::Soc& soc, int id) {
+  for (const itc02::Module& m : soc.modules) {
+    if (m.id == id) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ValidationReport validate(const core::SystemModel& sys, const core::Schedule& schedule) {
+  ValidationReport report;
+  auto violation = [&](auto&&... parts) {
+    report.violations.push_back(cat(std::forward<decltype(parts)>(parts)...));
+  };
+
+  const auto& endpoints = sys.endpoints();
+  auto endpoint_ok = [&](int r) { return r >= 0 && static_cast<std::size_t>(r) < endpoints.size(); };
+
+  // 1. Coverage: each module exactly once.
+  std::map<int, int> seen;
+  for (const core::Session& s : schedule.sessions) seen[s.module_id] += 1;
+  for (const itc02::Module& m : sys.soc().modules) {
+    const int count = seen.count(m.id) ? seen[m.id] : 0;
+    if (count != 1) {
+      violation("module ", m.id, " ('", m.name, "') tested ", count, " times (expected 1)");
+    }
+    seen.erase(m.id);
+  }
+  for (const auto& [id, count] : seen) {
+    violation("schedule tests unknown module ", id, " (", count, " sessions)");
+  }
+
+  // 2. Extents and makespan.
+  std::uint64_t last_end = 0;
+  for (const core::Session& s : schedule.sessions) {
+    if (s.end <= s.start) {
+      violation("module ", s.module_id, ": empty session [", s.start, ", ", s.end, ")");
+    }
+    last_end = std::max(last_end, s.end);
+  }
+  if (!schedule.sessions.empty() && schedule.makespan != last_end) {
+    violation("makespan ", schedule.makespan, " != last session end ", last_end);
+  }
+
+  // Processor completion times (for precedence checks).
+  std::map<int, std::uint64_t> processor_ready;  // module id -> own test end
+  for (const core::Session& s : schedule.sessions) {
+    if (module_exists(sys.soc(), s.module_id) && sys.soc().module(s.module_id).is_processor) {
+      processor_ready[s.module_id] = s.end;
+    }
+  }
+
+  // 3/4/7. Resource usage.
+  std::map<int, IntervalSet> resource_busy;
+  for (const core::Session& s : schedule.sessions) {
+    if (!endpoint_ok(s.source_resource) || !endpoint_ok(s.sink_resource)) {
+      violation("module ", s.module_id, ": resource index out of range");
+      continue;
+    }
+    const core::Endpoint& src = endpoints[static_cast<std::size_t>(s.source_resource)];
+    const core::Endpoint& snk = endpoints[static_cast<std::size_t>(s.sink_resource)];
+    if (!src.can_source()) {
+      violation("module ", s.module_id, ": ", src.name(), " cannot source");
+    }
+    if (!snk.can_sink()) {
+      violation("module ", s.module_id, ": ", snk.name(), " cannot sink");
+    }
+    for (const core::Endpoint* ep : {&src, &snk}) {
+      if (ep->is_processor()) {
+        if (ep->processor_module == s.module_id) {
+          violation("module ", s.module_id, " is tested through itself");
+        } else if (const auto it = processor_ready.find(ep->processor_module);
+                   it == processor_ready.end()) {
+          violation("module ", s.module_id, " uses untested processor ",
+                    ep->processor_module);
+        } else if (s.start < it->second) {
+          violation("module ", s.module_id, " starts at ", s.start, " on processor ",
+                    ep->processor_module, " which is only ready at ", it->second);
+        }
+      }
+    }
+    if (s.end <= s.start) continue;  // already reported as an empty session
+    const Interval iv{s.start, s.end};
+    for (int r : {s.source_resource, s.sink_resource}) {
+      if (r == s.sink_resource && s.sink_resource == s.source_resource) continue;
+      IntervalSet& busy = resource_busy[r];
+      if (busy.conflicts(iv)) {
+        violation("resource ", endpoints[static_cast<std::size_t>(r)].name(),
+                  " double-booked around [", s.start, ", ", s.end, ") by module ",
+                  s.module_id);
+      } else {
+        busy.insert(iv);
+      }
+    }
+  }
+
+  // 5. Channel usage (per the system's channel model) and path
+  // correctness.
+  const bool circuit = sys.params().channel_model == core::ChannelModel::kCircuit;
+  std::map<noc::ChannelId, IntervalSet> channel_busy;
+  std::map<noc::ChannelId, power::PowerProfile> channel_load;
+  for (const core::Session& s : schedule.sessions) {
+    if (!endpoint_ok(s.source_resource) || !endpoint_ok(s.sink_resource)) continue;
+    const core::Endpoint& src = endpoints[static_cast<std::size_t>(s.source_resource)];
+    const core::Endpoint& snk = endpoints[static_cast<std::size_t>(s.sink_resource)];
+    if (!module_exists(sys.soc(), s.module_id)) continue;
+    const noc::RouterId at = sys.router_of(s.module_id);
+    if (s.path_in != noc::xy_route(sys.mesh(), src.router, at)) {
+      violation("module ", s.module_id, ": recorded stimulus path is not the XY route");
+    }
+    if (s.path_out != noc::xy_route(sys.mesh(), at, snk.router)) {
+      violation("module ", s.module_id, ": recorded response path is not the XY route");
+    }
+    if (s.end <= s.start) continue;
+    const Interval iv{s.start, s.end};
+    const double bws[] = {s.bandwidth_in, s.bandwidth_out};
+    int side = 0;
+    for (const auto* path : {&s.path_in, &s.path_out}) {
+      const double bw = bws[side++];
+      for (noc::ChannelId c : *path) {
+        if (circuit) {
+          IntervalSet& busy = channel_busy[c];
+          if (busy.conflicts(iv)) {
+            violation("channel ", c, " double-booked around [", s.start, ", ", s.end,
+                      ") by module ", s.module_id);
+          } else {
+            busy.insert(iv);
+          }
+        } else {
+          channel_load[c].add(iv, bw);
+        }
+      }
+    }
+  }
+  for (const auto& [channel, load] : channel_load) {
+    const double peak_load = load.peak();
+    if (peak_load > 1.0 + 1e-9) {
+      violation("channel ", channel, " oversubscribed: peak bandwidth ", peak_load);
+    }
+  }
+
+  // 6. Power: recomputed profile within budget; recorded values match
+  // the cost model.
+  power::PowerProfile profile;
+  for (const core::Session& s : schedule.sessions) {
+    if (s.end <= s.start) continue;
+    profile.add({s.start, s.end}, s.power);
+    if (!endpoint_ok(s.source_resource) || !endpoint_ok(s.sink_resource)) continue;
+    if (!module_exists(sys.soc(), s.module_id)) continue;
+    const core::Endpoint& src = endpoints[static_cast<std::size_t>(s.source_resource)];
+    const core::Endpoint& snk = endpoints[static_cast<std::size_t>(s.sink_resource)];
+    // Role violations are reported above; the cost model cannot price an
+    // illegal pairing.
+    if (!src.can_source() || !snk.can_sink()) continue;
+    if (src.is_processor() && src.processor_module == s.module_id) continue;
+    if (snk.is_processor() && snk.processor_module == s.module_id) continue;
+    const core::SessionPlan plan = core::plan_session(sys, s.module_id, src, snk);
+    if (plan.duration != s.duration()) {
+      violation("module ", s.module_id, ": recorded duration ", s.duration(),
+                " != cost model ", plan.duration);
+    }
+    if (!near(plan.power, s.power)) {
+      violation("module ", s.module_id, ": recorded power ", s.power, " != cost model ",
+                plan.power);
+    }
+    if (!near(plan.bandwidth_in, s.bandwidth_in) || !near(plan.bandwidth_out, s.bandwidth_out)) {
+      violation("module ", s.module_id, ": recorded channel bandwidth != cost model");
+    }
+  }
+  const double peak = profile.peak();
+  if (peak > schedule.power_limit * (1.0 + 1e-9) + 1e-9) {
+    violation("peak power ", peak, " exceeds budget ", schedule.power_limit);
+  }
+  if (!schedule.sessions.empty() && !near(peak, schedule.peak_power)) {
+    violation("recorded peak power ", schedule.peak_power, " != recomputed ", peak);
+  }
+
+  return report;
+}
+
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule) {
+  const ValidationReport report = validate(sys, schedule);
+  if (report.ok()) return;
+  std::string all = "schedule validation failed:";
+  for (const std::string& v : report.violations) {
+    all += "\n  - ";
+    all += v;
+  }
+  throw Error(all);
+}
+
+}  // namespace nocsched::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Independent validation of a test plan.
+//
+// Replays a Schedule against the SystemModel and re-checks every
+// constraint the planner is supposed to honour:
+//
+//   1. every module is tested exactly once;
+//   2. sessions have sane extents and makespan equals the last end;
+//   3. no resource (ATE port or processor) serves two overlapping
+//      sessions, and ATE ports only play their legal role;
+//   4. a processor serves sessions only after its own test completed;
+//   5. no directed NoC channel carries two overlapping sessions, and
+//      every recorded path is the XY route the mesh would produce;
+//   6. the summed power never exceeds the budget, and the recorded
+//      per-session power and duration match the cost model;
+//   7. sources can source, sinks can sink, and a module never tests
+//      itself.
+//
+// Everything the planner produced is rebuilt here from scratch
+// (reservation tables, power profile), so planner bookkeeping bugs
+// cannot hide themselves.
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+
+namespace nocsched::sim {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Collect all violations (empty report = valid plan).
+[[nodiscard]] ValidationReport validate(const core::SystemModel& sys,
+                                        const core::Schedule& schedule);
+
+/// Throw nocsched::Error listing the violations, if any.
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule);
+
+}  // namespace nocsched::sim

@@ -1,0 +1,137 @@
+#include "wrapper/wrapper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nocsched::wrapper {
+
+namespace {
+
+// Index of the currently shortest chain (ties -> lowest index, which
+// keeps the assignment deterministic).
+std::size_t shortest(const std::vector<std::uint64_t>& chains) {
+  return static_cast<std::size_t>(
+      std::min_element(chains.begin(), chains.end()) - chains.begin());
+}
+
+// Spread `cells` one-bit wrapper cells over the chains, always topping
+// up the shortest chain first (optimal for unit-size items).
+void spread_cells(std::vector<std::uint64_t>& chains, std::uint64_t cells) {
+  // Distribute in bulk: repeatedly raise the shortest chains to the level
+  // of the next-shortest.  With unit items the greedy end state is the
+  // same as adding cells one by one, but this is O(chains log chains).
+  std::vector<std::uint64_t> sorted = chains;
+  std::sort(sorted.begin(), sorted.end());
+  // Find the final water level L such that sum(max(0, L - len)) == cells.
+  // Then apply it back to the real chains deterministically.
+  std::uint64_t remaining = cells;
+  std::uint64_t level = sorted.front();
+  std::size_t below = 1;
+  for (std::size_t i = 1; i <= sorted.size() && remaining > 0; ++i) {
+    const std::uint64_t next = i < sorted.size() ? sorted[i] : UINT64_MAX;
+    const std::uint64_t gap = next - level;
+    const std::uint64_t need = gap > remaining / below ? remaining / below : gap;
+    level += need;
+    remaining -= need * below;
+    below = i + 1;
+    if (next == UINT64_MAX) break;
+  }
+  // `level` is the full water line; `remaining` (< number of chains at
+  // the line) chains get one extra cell.
+  std::vector<std::size_t> order(chains.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return chains[a] < chains[b]; });
+  std::uint64_t extras = remaining;
+  for (std::size_t idx : order) {
+    std::uint64_t target = level;
+    if (chains[idx] <= level && extras > 0) {
+      ++target;
+      --extras;
+    }
+    if (chains[idx] < target) chains[idx] = target;
+  }
+}
+
+}  // namespace
+
+std::uint64_t TestPhase::core_cycles() const {
+  const std::uint64_t hi = std::max(scan_in_length, scan_out_length);
+  const std::uint64_t lo = std::min(scan_in_length, scan_out_length);
+  return (1 + hi) * patterns + lo;
+}
+
+WrapperConfig design_wrapper(const itc02::Module& module, std::uint32_t chains,
+                             bool include_scan) {
+  ensure(chains > 0, "design_wrapper: need at least one wrapper chain (module '",
+         module.name, "')");
+  WrapperConfig cfg;
+  cfg.chains = chains;
+  cfg.in_chain_bits.assign(chains, 0);
+  cfg.out_chain_bits.assign(chains, 0);
+
+  if (include_scan && !module.scan_chains.empty()) {
+    // LPT: longest internal chains first, each onto the wrapper chain
+    // that is currently shortest.  Internal scan chains sit on both the
+    // scan-in and scan-out paths, so assign them jointly.
+    std::vector<std::uint32_t> internal = module.scan_chains;
+    std::sort(internal.begin(), internal.end(), std::greater<>());
+    for (std::uint32_t len : internal) {
+      const std::size_t tgt = shortest(cfg.in_chain_bits);
+      cfg.in_chain_bits[tgt] += len;
+      cfg.out_chain_bits[tgt] += len;
+    }
+  }
+  // Input cells extend only the scan-in path; output cells only the
+  // scan-out path; bidir cells sit on both.
+  spread_cells(cfg.in_chain_bits, std::uint64_t{module.inputs} + module.bidirs);
+  spread_cells(cfg.out_chain_bits, std::uint64_t{module.outputs} + module.bidirs);
+
+  cfg.scan_in_length = static_cast<std::uint32_t>(
+      *std::max_element(cfg.in_chain_bits.begin(), cfg.in_chain_bits.end()));
+  cfg.scan_out_length = static_cast<std::uint32_t>(
+      *std::max_element(cfg.out_chain_bits.begin(), cfg.out_chain_bits.end()));
+  return cfg;
+}
+
+std::vector<TestPhase> plan_module_test(const itc02::Module& module, std::uint32_t chains) {
+  std::vector<TestPhase> phases;
+  phases.reserve(module.tests.size());
+  // The two wrapper variants are shared across phases.
+  WrapperConfig with_scan;
+  WrapperConfig io_only;
+  bool have_scan = false;
+  bool have_io = false;
+  for (const itc02::CoreTest& t : module.tests) {
+    const bool scan = t.uses_scan;
+    if (scan && !have_scan) {
+      with_scan = design_wrapper(module, chains, /*include_scan=*/true);
+      have_scan = true;
+    }
+    if (!scan && !have_io) {
+      io_only = design_wrapper(module, chains, /*include_scan=*/false);
+      have_io = true;
+    }
+    const WrapperConfig& cfg = scan ? with_scan : io_only;
+    TestPhase phase;
+    phase.patterns = t.patterns;
+    phase.scan_in_length = cfg.scan_in_length;
+    phase.scan_out_length = cfg.scan_out_length;
+    const std::uint64_t scan_bits = scan ? module.scan_flops() : 0;
+    phase.stimulus_bits = scan_bits + module.inputs + module.bidirs;
+    phase.response_bits = scan_bits + module.outputs + module.bidirs;
+    phases.push_back(phase);
+  }
+  return phases;
+}
+
+std::uint64_t module_test_cycles(const itc02::Module& module, std::uint32_t chains) {
+  std::uint64_t total = 0;
+  for (const TestPhase& phase : plan_module_test(module, chains)) {
+    total += phase.core_cycles();
+  }
+  return total;
+}
+
+}  // namespace nocsched::wrapper

@@ -1,0 +1,62 @@
+#pragma once
+// IEEE-1500-style test wrapper design and per-core scan test time.
+//
+// A core under test is accessed through a wrapper: its internal scan
+// chains plus wrapper boundary cells (one per functional terminal) are
+// concatenated into `Wp` wrapper scan chains fed in parallel.  This is
+// the paper's "CUT characterization" substrate (step 3): the planner
+// consumes, per core, the number of shift cycles per pattern and the
+// stimulus/response bit volume that must cross the NoC.
+//
+// The partitioning uses the standard Design_wrapper heuristic family
+// (Iyengar/Chakrabarty/Marinissen): longest-processing-time assignment
+// of internal scan chains to wrapper chains, then balancing of input and
+// output cells, which minimizes the maximum wrapper chain length to
+// within the heuristic's usual bounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "itc02/soc.hpp"
+
+namespace nocsched::wrapper {
+
+/// Result of wrapper design for one core at a given wrapper width.
+struct WrapperConfig {
+  std::uint32_t chains = 0;          ///< number of wrapper chains (Wp)
+  std::uint32_t scan_in_length = 0;  ///< si: shift-in cycles per pattern
+  std::uint32_t scan_out_length = 0; ///< so: shift-out cycles per pattern
+  std::vector<std::uint64_t> in_chain_bits;   ///< per-chain scan-in bits
+  std::vector<std::uint64_t> out_chain_bits;  ///< per-chain scan-out bits
+};
+
+/// One phase of a module's test (one ITC'02 `Test` entry).
+struct TestPhase {
+  std::uint64_t patterns = 0;
+  std::uint32_t scan_in_length = 0;   ///< si for this phase
+  std::uint32_t scan_out_length = 0;  ///< so for this phase
+  std::uint64_t stimulus_bits = 0;    ///< bits delivered per pattern
+  std::uint64_t response_bits = 0;    ///< bits collected per pattern
+
+  /// Core-side cycles for the whole phase with pipelined scan:
+  /// (1 + max(si, so)) * patterns + min(si, so).
+  [[nodiscard]] std::uint64_t core_cycles() const;
+};
+
+/// Design a wrapper for `module` with exactly `chains` wrapper chains.
+/// `include_scan` selects whether internal scan chains participate
+/// (false models a functional/BIST test that only uses boundary cells).
+/// Throws nocsched::Error if `chains` is zero.
+[[nodiscard]] WrapperConfig design_wrapper(const itc02::Module& module, std::uint32_t chains,
+                                           bool include_scan = true);
+
+/// Plan every test of `module` at wrapper width `chains`, in file order.
+[[nodiscard]] std::vector<TestPhase> plan_module_test(const itc02::Module& module,
+                                                      std::uint32_t chains);
+
+/// Total core-side cycles over all phases — the classic single-core test
+/// length used for calibration and for lower bounds.
+[[nodiscard]] std::uint64_t module_test_cycles(const itc02::Module& module,
+                                               std::uint32_t chains);
+
+}  // namespace nocsched::wrapper

@@ -1,0 +1,71 @@
+#include "common/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace nocsched {
+namespace {
+
+TEST(BarChart, RendersTitleSeriesGroupsAndValues) {
+  BarChart chart("My Chart", {"limit", "none"});
+  chart.add_group("noproc", {100.0, 200.0});
+  chart.add_group("2proc", {50.0, 75.0});
+  const std::string out = chart.render(20);
+  EXPECT_NE(out.find("My Chart"), std::string::npos);
+  EXPECT_NE(out.find("noproc"), std::string::npos);
+  EXPECT_NE(out.find("2proc"), std::string::npos);
+  EXPECT_NE(out.find("limit"), std::string::npos);
+  EXPECT_NE(out.find("none"), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);
+  EXPECT_NE(out.find("75"), std::string::npos);
+}
+
+TEST(BarChart, MaxValueFillsBarWidth) {
+  BarChart chart("t", {"s"});
+  chart.add_group("g", {10.0});
+  const std::string out = chart.render(10);
+  EXPECT_NE(out.find("|##########|"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValueEmptyBar) {
+  BarChart chart("t", {"s"});
+  chart.add_group("a", {0.0});
+  chart.add_group("b", {5.0});
+  const std::string out = chart.render(10);
+  EXPECT_NE(out.find("|          |"), std::string::npos);
+}
+
+TEST(BarChart, HalfValueHalfBar) {
+  BarChart chart("t", {"s"});
+  chart.add_group("a", {5.0});
+  chart.add_group("b", {10.0});
+  const std::string out = chart.render(10);
+  EXPECT_NE(out.find("|#####     |"), std::string::npos);
+}
+
+TEST(BarChart, RejectsSeriesMismatch) {
+  BarChart chart("t", {"s1", "s2"});
+  EXPECT_THROW(chart.add_group("g", {1.0}), Error);
+  EXPECT_THROW(chart.add_group("g", {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(BarChart, RejectsBadValues) {
+  BarChart chart("t", {"s"});
+  EXPECT_THROW(chart.add_group("g", {-1.0}), Error);
+  EXPECT_THROW(chart.add_group("g", {std::numeric_limits<double>::infinity()}), Error);
+}
+
+TEST(BarChart, RejectsNoSeries) { EXPECT_THROW(BarChart("t", {}), Error); }
+
+TEST(BarChart, ValuesPrintedWithThousandsSeparators) {
+  BarChart chart("t", {"s"});
+  chart.add_group("g", {1234567.0});
+  EXPECT_NE(chart.render(10).find("1,234,567"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nocsched

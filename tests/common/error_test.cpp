@@ -1,0 +1,57 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocsched {
+namespace {
+
+TEST(Cat, ConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(cat(), "");
+  EXPECT_EQ(cat(42), "42");
+}
+
+TEST(Fail, ThrowsErrorWithMessage) {
+  try {
+    fail("bad thing ", 7);
+    FAIL() << "fail() returned";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "bad thing 7");
+  }
+}
+
+TEST(Ensure, PassesWhenTrue) { EXPECT_NO_THROW(ensure(true, "unused")); }
+
+TEST(Ensure, ThrowsWhenFalse) {
+  EXPECT_THROW(ensure(false, "broken: ", 3), Error);
+}
+
+TEST(Ensure, MessageContainsParts) {
+  try {
+    ensure(1 == 2, "expected ", 1, " got ", 2);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "expected 1 got 2");
+  }
+}
+
+TEST(Assert, PassesOnTrue) { EXPECT_NO_THROW(NOCSCHED_ASSERT(2 + 2 == 4)); }
+
+TEST(Assert, ThrowsOnFalseWithLocation) {
+  try {
+    NOCSCHED_ASSERT(2 + 2 == 5);
+    FAIL();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  static_assert(std::is_base_of_v<std::runtime_error, Error>);
+  EXPECT_THROW(fail("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nocsched

@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace nocsched {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ZeroSeedStillProducesValues) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(Rng, UniformStaysInClosedRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(3, 2), Error);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(7), 7u);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng r(9);
+  EXPECT_THROW(r.below(0), Error);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SkewedStaysInRange) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.skewed(10, 1000);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 1000u);
+  }
+}
+
+TEST(Rng, SkewedConcentratesLow) {
+  Rng r(29);
+  // With shape 2.5, the median of u^2.5 is ~0.18, so well over half the
+  // draws should land in the lower third of the range.
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) low += r.skewed(0, 300) < 100;
+  EXPECT_GT(low, 1200);
+}
+
+TEST(Rng, SkewedRejectsBadArgs) {
+  Rng r(31);
+  EXPECT_THROW(r.skewed(5, 4), Error);
+  EXPECT_THROW(r.skewed(0, 10, 0.0), Error);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(41);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+}  // namespace
+}  // namespace nocsched

@@ -1,0 +1,82 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace nocsched::core {
+namespace {
+
+TEST(Params, PaperPresetCarriesIssRates) {
+  const PlannerParams p = PlannerParams::paper();
+  EXPECT_NO_THROW(validate(p));
+  EXPECT_GT(p.leon.per_stimulus_flit, 0.0);
+  EXPECT_GT(p.plasma.per_stimulus_flit, 0.0);
+  EXPECT_GT(p.leon.memory_bytes, 0u);
+  EXPECT_GT(p.plasma.active_power, 0.0);
+  EXPECT_EQ(p.wrapper_chains, 4u);
+  EXPECT_EQ(p.resource_choice, ResourceChoice::kFirstAvailable);
+  EXPECT_EQ(p.channel_model, ChannelModel::kMultiplexed);
+  EXPECT_FALSE(p.allow_cross_pairing);
+}
+
+TEST(Params, LiteralRatePresetPinsTenCyclesPerPattern) {
+  const PlannerParams p = PlannerParams::paper_literal_rate();
+  EXPECT_DOUBLE_EQ(p.leon.per_pattern_overhead, 10.0);
+  EXPECT_DOUBLE_EQ(p.plasma.per_pattern_overhead, 10.0);
+  EXPECT_DOUBLE_EQ(p.leon.per_stimulus_flit, 0.0);
+  EXPECT_DOUBLE_EQ(p.leon.per_response_flit, 0.0);
+  // Memory characterization survives the rate override.
+  EXPECT_EQ(p.leon.memory_bytes, PlannerParams::paper().leon.memory_bytes);
+}
+
+TEST(Params, RatesSelectsByKind) {
+  PlannerParams p = PlannerParams::paper();
+  p.leon.active_power = 111.0;
+  p.plasma.active_power = 222.0;
+  EXPECT_DOUBLE_EQ(p.rates(itc02::ProcessorKind::kLeon).active_power, 111.0);
+  EXPECT_DOUBLE_EQ(p.rates(itc02::ProcessorKind::kPlasma).active_power, 222.0);
+}
+
+TEST(Params, ValidateRejectsNonsense) {
+  PlannerParams p = PlannerParams::paper();
+  p.wrapper_chains = 0;
+  EXPECT_THROW(validate(p), Error);
+
+  p = PlannerParams::paper();
+  p.noc.flit_width_bits = 0;
+  EXPECT_THROW(validate(p), Error);
+
+  p = PlannerParams::paper();
+  p.leon.per_stimulus_flit = -1.0;
+  EXPECT_THROW(validate(p), Error);
+
+  p = PlannerParams::paper();
+  p.plasma.active_power = std::nan("");
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(Params, ToRatesCopiesCharacterization) {
+  cpu::CpuCharacterization c;
+  c.cycles_per_stimulus_flit = 16.0;
+  c.cycles_per_response_flit = 14.0;
+  c.cycles_per_pattern_overhead = 9.0;
+  c.setup_cycles = 20;
+  c.program_bytes = 200;
+  c.memory_bytes = 4096;
+  c.active_power = 300.0;
+  const CpuRates r = to_rates(c);
+  EXPECT_DOUBLE_EQ(r.per_stimulus_flit, 16.0);
+  EXPECT_DOUBLE_EQ(r.per_response_flit, 14.0);
+  EXPECT_DOUBLE_EQ(r.per_pattern_overhead, 9.0);
+  EXPECT_DOUBLE_EQ(r.setup_cycles, 20.0);
+  EXPECT_EQ(r.program_bytes, 200u);
+  EXPECT_EQ(r.memory_bytes, 4096u);
+  EXPECT_DOUBLE_EQ(r.active_power, 300.0);
+}
+
+}  // namespace
+}  // namespace nocsched::core

@@ -1,0 +1,111 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "itc02/builtin.hpp"
+
+namespace nocsched::core {
+namespace {
+
+TEST(Serpentine, VisitsEveryRouterOnceWithAdjacentSteps) {
+  const noc::Mesh mesh(5, 4);
+  const auto order = serpentine_order(mesh);
+  ASSERT_EQ(order.size(), 20u);
+  std::set<noc::RouterId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_EQ(mesh.hop_count(order[i - 1], order[i]), 1);
+  }
+}
+
+TEST(Serpentine, RowOrderAlternates) {
+  const noc::Mesh mesh(3, 2);
+  const auto order = serpentine_order(mesh);
+  EXPECT_EQ(order[0], mesh.router_at(0, 0));
+  EXPECT_EQ(order[2], mesh.router_at(2, 0));
+  EXPECT_EQ(order[3], mesh.router_at(2, 1));  // second row reversed
+  EXPECT_EQ(order[5], mesh.router_at(0, 1));
+}
+
+TEST(DefaultPlacement, PlacesEveryModuleExactlyOnce) {
+  const itc02::Soc soc =
+      itc02::with_processors(itc02::builtin_d695(), itc02::ProcessorKind::kLeon, 6);
+  const noc::Mesh mesh = paper_mesh("d695");
+  const auto placement = default_placement(soc, mesh);
+  ASSERT_EQ(placement.size(), 16u);
+  std::set<int> modules;
+  for (const CorePlacement& p : placement) {
+    modules.insert(p.module_id);
+    EXPECT_GE(p.router, 0);
+    EXPECT_LT(p.router, mesh.router_count());
+  }
+  EXPECT_EQ(modules.size(), 16u);
+}
+
+TEST(DefaultPlacement, UniqueRoutersWhenTheyFit) {
+  // 16 modules on 16 routers: one each.
+  const itc02::Soc soc =
+      itc02::with_processors(itc02::builtin_d695(), itc02::ProcessorKind::kLeon, 6);
+  const auto placement = default_placement(soc, paper_mesh("d695"));
+  std::set<noc::RouterId> routers;
+  for (const CorePlacement& p : placement) routers.insert(p.router);
+  EXPECT_EQ(routers.size(), 16u);
+}
+
+TEST(DefaultPlacement, ProcessorsGetDistinctSpreadRouters) {
+  const itc02::Soc soc =
+      itc02::with_processors(itc02::builtin_p93791(), itc02::ProcessorKind::kLeon, 8);
+  const noc::Mesh mesh = paper_mesh("p93791");
+  const auto placement = default_placement(soc, mesh);
+  std::set<noc::RouterId> proc_routers;
+  for (const CorePlacement& p : placement) {
+    if (soc.module(p.module_id).is_processor) proc_routers.insert(p.router);
+  }
+  EXPECT_EQ(proc_routers.size(), 8u);  // never stacked
+}
+
+TEST(DefaultPlacement, WrapsWhenMoreCoresThanRouters) {
+  // p93791 + 8 = 40 modules on 25 routers: some routers host several.
+  const itc02::Soc soc =
+      itc02::with_processors(itc02::builtin_p93791(), itc02::ProcessorKind::kLeon, 8);
+  const noc::Mesh mesh = paper_mesh("p93791");
+  const auto placement = default_placement(soc, mesh);
+  ASSERT_EQ(placement.size(), 40u);
+  std::set<noc::RouterId> routers;
+  for (const CorePlacement& p : placement) routers.insert(p.router);
+  EXPECT_LE(routers.size(), 25u);
+  EXPECT_GT(routers.size(), 20u);  // still spread out
+}
+
+TEST(DefaultPlacement, DeterministicAndSortedByModule) {
+  const itc02::Soc soc = itc02::builtin_p22810();
+  const noc::Mesh mesh = paper_mesh("p22810");
+  const auto a = default_placement(soc, mesh);
+  const auto b = default_placement(soc, mesh);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LT(a[i - 1].module_id, a[i].module_id);
+  }
+}
+
+TEST(AteDefaults, OppositeCorners) {
+  const noc::Mesh mesh(4, 4);
+  EXPECT_EQ(default_ate_input(mesh), mesh.router_at(0, 0));
+  EXPECT_EQ(default_ate_output(mesh), mesh.router_at(3, 3));
+}
+
+TEST(PaperMesh, DimensionsFromThePaper) {
+  EXPECT_EQ(paper_mesh("d695").cols(), 4);
+  EXPECT_EQ(paper_mesh("d695").rows(), 4);
+  EXPECT_EQ(paper_mesh("p22810").cols(), 5);
+  EXPECT_EQ(paper_mesh("p22810").rows(), 6);
+  EXPECT_EQ(paper_mesh("p93791").cols(), 5);
+  EXPECT_EQ(paper_mesh("p93791").rows(), 5);
+  EXPECT_THROW(paper_mesh("bogus"), Error);
+}
+
+}  // namespace
+}  // namespace nocsched::core

@@ -1,0 +1,128 @@
+#include "core/system_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::core {
+namespace {
+
+PlannerParams test_params() { return PlannerParams::paper(); }
+
+TEST(SystemModel, PaperSystemShape) {
+  const SystemModel sys =
+      SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 6, test_params());
+  EXPECT_EQ(sys.soc().name, "d695_leon");
+  EXPECT_EQ(sys.soc().modules.size(), 16u);
+  EXPECT_EQ(sys.mesh().router_count(), 16);
+  // Resource table: ATE in, ATE out, six processors.
+  ASSERT_EQ(sys.endpoints().size(), 8u);
+  EXPECT_EQ(sys.endpoints()[0].kind, EndpointKind::kAteInput);
+  EXPECT_EQ(sys.endpoints()[1].kind, EndpointKind::kAteOutput);
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_TRUE(sys.endpoints()[i].is_processor());
+    EXPECT_EQ(sys.endpoints()[i].cpu, itc02::ProcessorKind::kLeon);
+    EXPECT_EQ(sys.endpoints()[i].router, sys.router_of(sys.endpoints()[i].processor_module));
+  }
+}
+
+TEST(SystemModel, EndpointRoles) {
+  const Endpoint in{EndpointKind::kAteInput, 0, -1, {}};
+  const Endpoint out{EndpointKind::kAteOutput, 0, -1, {}};
+  const Endpoint cpu{EndpointKind::kProcessor, 0, 11, itc02::ProcessorKind::kLeon};
+  EXPECT_TRUE(in.can_source());
+  EXPECT_FALSE(in.can_sink());
+  EXPECT_FALSE(out.can_source());
+  EXPECT_TRUE(out.can_sink());
+  EXPECT_TRUE(cpu.can_source());
+  EXPECT_TRUE(cpu.can_sink());
+  EXPECT_EQ(cpu.name(), "leon#11");
+  EXPECT_EQ(in.name(), "ATE-in");
+}
+
+TEST(SystemModel, PhasesAndBaseCyclesMatchWrapper) {
+  const SystemModel sys =
+      SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 0, test_params());
+  for (const itc02::Module& m : sys.soc().modules) {
+    EXPECT_EQ(sys.base_test_cycles(m.id),
+              wrapper::module_test_cycles(m, sys.params().wrapper_chains));
+    EXPECT_EQ(sys.phases(m.id).size(), m.tests.size());
+  }
+}
+
+TEST(SystemModel, DistanceToNearestEndpoint) {
+  const SystemModel sys =
+      SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 2, test_params());
+  const int diameter = sys.mesh().cols() + sys.mesh().rows() - 2;
+  for (const itc02::Module& m : sys.soc().modules) {
+    const int d = sys.distance_to_nearest_endpoint(m.id);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, diameter);
+  }
+  // A processor's own router hosts an endpoint, but its own resource
+  // does not count for itself; the ATE ports still bound the distance.
+  for (int pid : sys.soc().processor_ids()) {
+    EXPECT_LE(sys.distance_to_nearest_endpoint(pid), diameter);
+  }
+}
+
+TEST(SystemModel, MoreProcessorsNeverIncreaseDistance) {
+  const SystemModel two =
+      SystemModel::paper_system("p93791", itc02::ProcessorKind::kLeon, 2, test_params());
+  const SystemModel eight =
+      SystemModel::paper_system("p93791", itc02::ProcessorKind::kLeon, 8, test_params());
+  // Common cores (ids 1..32) can only get closer to some interface.
+  double sum_two = 0.0;
+  double sum_eight = 0.0;
+  for (int id = 1; id <= 32; ++id) {
+    sum_two += two.distance_to_nearest_endpoint(id);
+    sum_eight += eight.distance_to_nearest_endpoint(id);
+  }
+  EXPECT_LE(sum_eight, sum_two);
+}
+
+TEST(SystemModel, RouterOfChecksIds) {
+  const SystemModel sys =
+      SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 0, test_params());
+  EXPECT_NO_THROW(sys.router_of(1));
+  EXPECT_THROW(sys.router_of(0), Error);
+  EXPECT_THROW(sys.router_of(11), Error);
+}
+
+TEST(SystemModel, RejectsIncompletePlacement) {
+  itc02::Soc soc = itc02::builtin_d695();
+  noc::Mesh mesh(4, 4);
+  auto placement = default_placement(soc, mesh);
+  placement.pop_back();
+  EXPECT_THROW(SystemModel(soc, mesh, placement, 0, 15, test_params()), Error);
+}
+
+TEST(SystemModel, RejectsDuplicatePlacement) {
+  itc02::Soc soc = itc02::builtin_d695();
+  noc::Mesh mesh(4, 4);
+  auto placement = default_placement(soc, mesh);
+  placement[1].module_id = placement[0].module_id;
+  EXPECT_THROW(SystemModel(soc, mesh, placement, 0, 15, test_params()), Error);
+}
+
+TEST(SystemModel, RejectsUnknownProcessorName) {
+  itc02::Soc soc = itc02::builtin_d695();
+  soc.modules[0].is_processor = true;  // "c6288" is not leon_*/plasma_*
+  noc::Mesh mesh(4, 4);
+  const auto placement = default_placement(soc, mesh);
+  EXPECT_THROW(SystemModel(soc, mesh, placement, 0, 15, test_params()), Error);
+}
+
+TEST(SystemModel, DeducesKindsFromNames) {
+  itc02::Soc soc = itc02::builtin_d695();
+  soc.modules.push_back(itc02::processor_module(itc02::ProcessorKind::kPlasma, 11, 1));
+  soc.modules.push_back(itc02::processor_module(itc02::ProcessorKind::kLeon, 12, 1));
+  noc::Mesh mesh(4, 4);
+  const SystemModel sys(soc, mesh, default_placement(soc, mesh), 0, 15, test_params());
+  ASSERT_EQ(sys.endpoints().size(), 4u);
+  EXPECT_EQ(sys.endpoints()[2].cpu, itc02::ProcessorKind::kPlasma);
+  EXPECT_EQ(sys.endpoints()[3].cpu, itc02::ProcessorKind::kLeon);
+}
+
+}  // namespace
+}  // namespace nocsched::core

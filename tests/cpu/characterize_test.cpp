@@ -1,0 +1,68 @@
+#include "cpu/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocsched::cpu {
+namespace {
+
+using itc02::ProcessorKind;
+
+class CharacterizeBoth : public ::testing::TestWithParam<ProcessorKind> {};
+
+TEST_P(CharacterizeBoth, RatesAreInPlausibleBands) {
+  const CpuCharacterization c = characterize(GetParam());
+  EXPECT_EQ(c.kind, GetParam());
+  // Software generation of a 32-bit flit costs tens of cycles, in the
+  // neighbourhood of the paper's "10 clock cycles" figure.
+  EXPECT_GE(c.cycles_per_stimulus_flit, 5.0);
+  EXPECT_LE(c.cycles_per_stimulus_flit, 40.0);
+  EXPECT_GE(c.cycles_per_response_flit, 5.0);
+  EXPECT_LE(c.cycles_per_response_flit, 40.0);
+  EXPECT_GT(c.cycles_per_pattern_overhead, 0.0);
+  EXPECT_LT(c.cycles_per_pattern_overhead, 40.0);
+  EXPECT_GT(c.setup_cycles, 0u);
+  EXPECT_LT(c.setup_cycles, 200u);
+}
+
+TEST_P(CharacterizeBoth, MemoryFigures) {
+  const CpuCharacterization c = characterize(GetParam());
+  EXPECT_GT(c.program_bytes, 0u);
+  EXPECT_LT(c.program_bytes, 1024u);  // the kernel is tiny
+  EXPECT_GT(c.memory_bytes, c.program_bytes);
+  EXPECT_GT(c.active_power, 0.0);
+}
+
+TEST_P(CharacterizeBoth, LinearModelPredictsActualRuns) {
+  const CpuCharacterization c = characterize(GetParam());
+  // The fitted model should reproduce the simulator to within a couple
+  // of cycles per pattern (last-iteration branch costs differ).
+  for (const auto& [p, fi, fo] :
+       {std::tuple{10u, 16u, 8u}, {3u, 50u, 0u}, {20u, 0u, 5u}, {1u, 1u, 1u}}) {
+    const std::uint64_t actual = run_kernel(GetParam(), {p, fi, fo, 0xC0FFEE01u}).cycles;
+    const double predicted = predict_cycles(c, p, fi, fo);
+    EXPECT_NEAR(predicted, static_cast<double>(actual), 4.0 * p + 16.0)
+        << "p=" << p << " fi=" << fi << " fo=" << fo;
+  }
+}
+
+TEST_P(CharacterizeBoth, Deterministic) {
+  const CpuCharacterization a = characterize(GetParam());
+  const CpuCharacterization b = characterize(GetParam());
+  EXPECT_DOUBLE_EQ(a.cycles_per_stimulus_flit, b.cycles_per_stimulus_flit);
+  EXPECT_DOUBLE_EQ(a.cycles_per_response_flit, b.cycles_per_response_flit);
+  EXPECT_EQ(a.setup_cycles, b.setup_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, CharacterizeBoth,
+                         ::testing::Values(ProcessorKind::kLeon, ProcessorKind::kPlasma),
+                         [](const auto& info) {
+                           return std::string(itc02::to_string(info.param));
+                         });
+
+TEST(Characterize, PlasmaHasLessMemoryThanLeon) {
+  EXPECT_LT(characterize(ProcessorKind::kPlasma).memory_bytes,
+            characterize(ProcessorKind::kLeon).memory_bytes);
+}
+
+}  // namespace
+}  // namespace nocsched::cpu

@@ -1,0 +1,114 @@
+#include "cpu/bist_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cpu/lfsr.hpp"
+
+namespace nocsched::cpu {
+namespace {
+
+using itc02::ProcessorKind;
+
+TEST(Lfsr, GoldenModelBasics) {
+  // xorshift32 has full period over nonzero states; a few spot values.
+  EXPECT_NE(xorshift32_next(1), 1u);
+  EXPECT_EQ(xorshift32_next(0), 0u);  // zero is a fixed point (kernel seeds nonzero)
+  const auto stream = stimulus_stream(42, 4);
+  ASSERT_EQ(stream.size(), 4u);
+  EXPECT_EQ(stream[0], xorshift32_next(42));
+  EXPECT_EQ(stream[1], xorshift32_next(stream[0]));
+}
+
+TEST(Lfsr, MisrFoldRotatesAndXors) {
+  EXPECT_EQ(misr_fold(0, 0x5), 0x5u);
+  EXPECT_EQ(misr_fold(0x80000000u, 0), 1u);  // rotate left wraps
+  const std::vector<std::uint32_t> flits = {1, 2, 3};
+  EXPECT_EQ(misr_signature(0, flits),
+            misr_fold(misr_fold(misr_fold(0, 1), 2), 3));
+}
+
+class KernelOnBothCpus : public ::testing::TestWithParam<ProcessorKind> {};
+
+TEST_P(KernelOnBothCpus, SourceModeMatchesGoldenStream) {
+  const KernelConfig cfg{/*patterns=*/5, /*flits_in=*/7, /*flits_out=*/0, /*seed=*/0xABCD1234u};
+  const KernelRun run = run_kernel(GetParam(), cfg);
+  EXPECT_EQ(run.injected, stimulus_stream(cfg.seed, 35));
+  EXPECT_TRUE(run.consumed.empty());
+}
+
+TEST_P(KernelOnBothCpus, SinkModeComputesGoldenMisr) {
+  std::vector<std::uint32_t> responses;
+  for (std::uint32_t i = 0; i < 12; ++i) responses.push_back(0x1000 + i * 7);
+  const KernelConfig cfg{/*patterns=*/4, /*flits_in=*/0, /*flits_out=*/3};
+  const KernelRun run = run_kernel(GetParam(), cfg, responses);
+  EXPECT_TRUE(run.injected.empty());
+  EXPECT_EQ(run.consumed, responses);
+  EXPECT_EQ(run.misr, misr_signature(0, responses));
+}
+
+TEST_P(KernelOnBothCpus, BothRolesInterleavePerPattern) {
+  const KernelConfig cfg{/*patterns=*/3, /*flits_in=*/2, /*flits_out=*/2, /*seed=*/7};
+  const KernelRun run = run_kernel(GetParam(), cfg);
+  EXPECT_EQ(run.injected, stimulus_stream(7, 6));
+  EXPECT_EQ(run.consumed.size(), 6u);
+  EXPECT_EQ(run.misr, misr_signature(0, run.consumed));
+}
+
+TEST_P(KernelOnBothCpus, ZeroPatternsHaltsImmediately) {
+  const KernelConfig cfg{/*patterns=*/0, /*flits_in=*/5, /*flits_out=*/5};
+  const KernelRun run = run_kernel(GetParam(), cfg);
+  EXPECT_TRUE(run.injected.empty());
+  EXPECT_TRUE(run.consumed.empty());
+  EXPECT_EQ(run.misr, 0u);
+}
+
+TEST_P(KernelOnBothCpus, CyclesScaleLinearlyInFlits) {
+  const std::uint64_t c32 = run_kernel(GetParam(), {8, 32, 0, 1}).cycles;
+  const std::uint64_t c64 = run_kernel(GetParam(), {8, 64, 0, 1}).cycles;
+  const std::uint64_t c96 = run_kernel(GetParam(), {8, 96, 0, 1}).cycles;
+  EXPECT_EQ(c96 - c64, c64 - c32);  // exact linearity per extra flit block
+}
+
+TEST_P(KernelOnBothCpus, MisrIsPublishedInMemory) {
+  RecordingInterface ni;
+  Memory mem(kKernelMemoryBytes, &ni);
+  load_kernel(GetParam(), mem, {2, 1, 1, 99});
+  auto cpu = make_cpu(GetParam(), mem);
+  cpu->reset(kKernelCodeBase);
+  ASSERT_TRUE(cpu->run(1000000));
+  EXPECT_EQ(kernel_misr(mem), misr_signature(0, ni.consumed()));
+}
+
+TEST_P(KernelOnBothCpus, ProgramFitsBelowParameterBlock) {
+  EXPECT_LE(build_bist_kernel(GetParam()).size() * 4, std::size_t{kKernelParamsBase});
+}
+
+TEST_P(KernelOnBothCpus, DeterministicAcrossRuns) {
+  const KernelConfig cfg{4, 3, 2, 0x1111};
+  const KernelRun a = run_kernel(GetParam(), cfg);
+  const KernelRun b = run_kernel(GetParam(), cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.misr, b.misr);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, KernelOnBothCpus,
+                         ::testing::Values(ProcessorKind::kLeon, ProcessorKind::kPlasma),
+                         [](const auto& info) {
+                           return std::string(itc02::to_string(info.param));
+                         });
+
+TEST(Kernel, TwoIsasProduceIdenticalStreams) {
+  // Same algorithm, two architectures: bit-identical output.
+  const KernelConfig cfg{6, 4, 3, 0xFEED};
+  std::vector<std::uint32_t> responses;
+  for (std::uint32_t i = 0; i < 18; ++i) responses.push_back(i * 31 + 5);
+  const KernelRun leon = run_kernel(ProcessorKind::kLeon, cfg, responses);
+  const KernelRun plasma = run_kernel(ProcessorKind::kPlasma, cfg, responses);
+  EXPECT_EQ(leon.injected, plasma.injected);
+  EXPECT_EQ(leon.misr, plasma.misr);
+}
+
+}  // namespace
+}  // namespace nocsched::cpu

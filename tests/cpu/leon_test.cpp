@@ -1,0 +1,304 @@
+#include "cpu/leon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cpu/sparc_asm.hpp"
+
+namespace nocsched::cpu {
+namespace {
+
+struct Machine {
+  explicit Machine(sparc::Assembler& a) : mem(4096), cpu(mem) {
+    std::uint32_t addr = 0;
+    for (const std::uint32_t w : a.finish()) {
+      mem.store_word(addr, w);
+      addr += 4;
+    }
+    cpu.reset(0);
+  }
+  void steps(int n) {
+    for (int i = 0; i < n; ++i) cpu.step();
+  }
+  Memory mem;
+  LeonCpu cpu;
+};
+
+TEST(Leon, SethiAndOrBuildConstants) {
+  sparc::Assembler a;
+  a.set32(1, 0xDEADBEEFu);
+  a.set32(2, 0x00000400u);  // small, single or
+  a.set32(3, 0xFFFF0000u);  // low bits zero, single sethi
+  Machine m(a);
+  m.steps(4);  // set32 of 0xDEADBEEF is two instructions
+  EXPECT_EQ(m.cpu.reg(1), 0xDEADBEEFu);
+  EXPECT_EQ(m.cpu.reg(2), 0x400u);
+  EXPECT_EQ(m.cpu.reg(3), 0xFFFF0000u);
+}
+
+TEST(Leon, ArithmeticAndLogic) {
+  sparc::Assembler a;
+  a.or_imm(1, sparc::kG0, 12);
+  a.or_imm(2, sparc::kG0, 5);
+  a.add(3, 1, 2);
+  a.sub(4, 1, 2);
+  a.and_(5, 1, 2);
+  a.or_(6, 1, 2);
+  a.xor_(7, 1, 2);
+  a.add_imm(8, 1, -3);
+  Machine m(a);
+  m.steps(8);
+  EXPECT_EQ(m.cpu.reg(3), 17u);
+  EXPECT_EQ(m.cpu.reg(4), 7u);
+  EXPECT_EQ(m.cpu.reg(5), 4u);
+  EXPECT_EQ(m.cpu.reg(6), 13u);
+  EXPECT_EQ(m.cpu.reg(7), 9u);
+  EXPECT_EQ(m.cpu.reg(8), 9u);
+}
+
+TEST(Leon, Shifts) {
+  sparc::Assembler a;
+  a.set32(1, 0x80000010u);
+  a.sll(2, 1, 4);
+  a.srl(3, 1, 4);
+  a.sra(4, 1, 4);
+  a.or_imm(5, sparc::kG0, 8);
+  a.sll_reg(6, 1, 5);
+  a.srl_reg(7, 1, 5);
+  Machine m(a);
+  m.steps(8);
+  EXPECT_EQ(m.cpu.reg(2), 0x00000100u);
+  EXPECT_EQ(m.cpu.reg(3), 0x08000001u);
+  EXPECT_EQ(m.cpu.reg(4), 0xF8000001u);
+  EXPECT_EQ(m.cpu.reg(6), 0x00001000u);
+  EXPECT_EQ(m.cpu.reg(7), 0x00800000u);
+}
+
+TEST(Leon, SubccSetsFlags) {
+  sparc::Assembler a;
+  a.or_imm(1, sparc::kG0, 5);
+  a.subcc_imm(sparc::kG0, 1, 5);  // 5-5: Z
+  Machine m(a);
+  m.steps(2);
+  EXPECT_TRUE(m.cpu.icc().z);
+  EXPECT_FALSE(m.cpu.icc().n);
+  EXPECT_FALSE(m.cpu.icc().c);
+
+  sparc::Assembler b;
+  b.or_imm(1, sparc::kG0, 3);
+  b.subcc_imm(sparc::kG0, 1, 5);  // 3-5: negative, borrow
+  Machine n(b);
+  n.steps(2);
+  EXPECT_FALSE(n.cpu.icc().z);
+  EXPECT_TRUE(n.cpu.icc().n);
+  EXPECT_TRUE(n.cpu.icc().c);
+}
+
+TEST(Leon, SubccOverflow) {
+  sparc::Assembler a;
+  a.set32(1, 0x80000000u);   // INT_MIN
+  a.subcc_imm(2, 1, 1);      // INT_MIN - 1 overflows
+  Machine m(a);
+  m.steps(2);  // set32 of 0x80000000 is a single sethi
+  EXPECT_TRUE(m.cpu.icc().v);
+}
+
+TEST(Leon, AddccCarry) {
+  sparc::Assembler a;
+  a.set32(1, 0xFFFFFFFFu);
+  a.or_imm(2, sparc::kG0, 1);
+  a.addcc(3, 1, 2);  // wraps to 0 with carry
+  Machine m(a);
+  m.steps(4);
+  EXPECT_EQ(m.cpu.reg(3), 0u);
+  EXPECT_TRUE(m.cpu.icc().z);
+  EXPECT_TRUE(m.cpu.icc().c);
+}
+
+TEST(Leon, ConditionalBranchesOnSignedCompare) {
+  sparc::Assembler a;
+  a.or_imm(1, sparc::kG0, 10);
+  a.subcc_imm(sparc::kG0, 1, 5);  // 10-5 > 0
+  a.bg("greater");
+  a.nop();
+  a.or_imm(2, sparc::kG0, 99);  // skipped
+  a.label("greater");
+  a.or_imm(3, sparc::kG0, 7);
+  Machine m(a);
+  m.steps(5);
+  EXPECT_EQ(m.cpu.reg(2), 0u);
+  EXPECT_EQ(m.cpu.reg(3), 7u);
+}
+
+TEST(Leon, DelaySlotExecutesOnTakenBranch) {
+  sparc::Assembler a;
+  a.ba("target");
+  a.or_imm(1, sparc::kG0, 11);  // delay slot
+  a.or_imm(2, sparc::kG0, 22);  // skipped
+  a.label("target");
+  a.or_imm(3, sparc::kG0, 33);
+  Machine m(a);
+  m.steps(3);
+  EXPECT_EQ(m.cpu.reg(1), 11u);
+  EXPECT_EQ(m.cpu.reg(2), 0u);
+  EXPECT_EQ(m.cpu.reg(3), 33u);
+}
+
+TEST(Leon, AnnulledDelaySlotOnUntakenConditional) {
+  sparc::Assembler a;
+  a.subcc_imm(sparc::kG0, sparc::kG0, 0);  // Z=1
+  a.branch(sparc::Cond::kNotEqual, "away", /*annul=*/true);  // untaken, annul
+  a.or_imm(1, sparc::kG0, 11);  // delay slot: ANNULLED
+  a.or_imm(2, sparc::kG0, 22);  // executes
+  a.label("away");
+  Machine m(a);
+  m.steps(4);
+  EXPECT_EQ(m.cpu.reg(1), 0u);   // annulled
+  EXPECT_EQ(m.cpu.reg(2), 22u);
+  EXPECT_EQ(m.cpu.instructions(), 3u);  // annulled slot does not retire
+}
+
+TEST(Leon, TakenConditionalWithAnnulKeepsDelaySlot) {
+  sparc::Assembler a;
+  a.subcc_imm(sparc::kG0, sparc::kG0, 0);  // Z=1
+  a.branch(sparc::Cond::kEqual, "away", /*annul=*/true);  // taken
+  a.or_imm(1, sparc::kG0, 11);  // delay slot: executes (taken conditional)
+  a.label("away");
+  a.or_imm(2, sparc::kG0, 22);
+  Machine m(a);
+  m.steps(4);
+  EXPECT_EQ(m.cpu.reg(1), 11u);
+  EXPECT_EQ(m.cpu.reg(2), 22u);
+}
+
+TEST(Leon, BaWithAnnulSquashesDelaySlot) {
+  sparc::Assembler a;
+  a.ba("target", /*annul=*/true);
+  a.or_imm(1, sparc::kG0, 11);  // always annulled for ba,a
+  a.label("target");
+  a.or_imm(2, sparc::kG0, 22);
+  Machine m(a);
+  m.steps(3);
+  EXPECT_EQ(m.cpu.reg(1), 0u);
+  EXPECT_EQ(m.cpu.reg(2), 22u);
+}
+
+TEST(Leon, LoadsAndStores) {
+  sparc::Assembler a;
+  a.set32(1, 0x100);
+  a.set32(2, 0xCAFEF00Du);
+  a.st(2, 1, 8);
+  a.ld(3, 1, 8);
+  a.ldub(4, 1, 8);  // top byte, big-endian
+  a.stb(2, 1, 0);
+  a.ldub(5, 1, 0);
+  Machine m(a);
+  m.steps(8);
+  EXPECT_EQ(m.cpu.reg(3), 0xCAFEF00Du);
+  EXPECT_EQ(m.cpu.reg(4), 0xCAu);
+  EXPECT_EQ(m.cpu.reg(5), 0x0Du);
+}
+
+TEST(Leon, CallLinksR15) {
+  sparc::Assembler a;
+  a.call("func");        // at 0: %o7 (r15) = 0
+  a.nop();               // delay slot
+  a.or_imm(1, sparc::kG0, 1);  // return target (0x8)
+  a.ba("done");
+  a.nop();
+  a.label("func");
+  a.or_imm(2, sparc::kG0, 2);
+  a.jmpl(sparc::kG0, 15, 8);  // return: jump to %o7+8
+  a.nop();
+  a.label("done");
+  Machine m(a);
+  m.steps(7);
+  EXPECT_EQ(m.cpu.reg(15), 0u);  // call stored its own address
+  EXPECT_EQ(m.cpu.reg(2), 2u);
+  EXPECT_EQ(m.cpu.reg(1), 1u);
+}
+
+TEST(Leon, RegisterWindowsOverlapOutsIns) {
+  sparc::Assembler a;
+  a.or_imm(8, sparc::kG0, 77);   // %o0 in window 0
+  a.save(14, sparc::kG0, 0);     // new window; %sp irrelevant here
+  // After save, the caller's %o0 is the callee's %i0 (reg 24).
+  a.or_(9, 24, sparc::kG0);      // %o1 = %i0
+  a.restore(sparc::kG0, sparc::kG0, 0);
+  Machine m(a);
+  m.steps(2);
+  EXPECT_EQ(m.cpu.cwp(), LeonCpu::kWindows - 1);  // save decrements
+  m.steps(1);
+  EXPECT_EQ(m.cpu.reg(9), 77u);  // read through the window overlap
+  m.steps(1);
+  EXPECT_EQ(m.cpu.cwp(), 0u);
+  EXPECT_EQ(m.cpu.reg(8), 77u);  // back in window 0, %o0 intact
+}
+
+TEST(Leon, SaveComputesInOldWindowWritesInNew) {
+  sparc::Assembler a;
+  a.or_imm(8, sparc::kG0, 40);   // %o0 = 40 (old window)
+  a.save(8, 8, 2);               // new %o0 = old %o0 + 2
+  Machine m(a);
+  m.steps(2);
+  EXPECT_EQ(m.cpu.reg(8), 42u);  // read in the NEW window
+}
+
+TEST(Leon, GlobalsSurviveWindowSwitch) {
+  sparc::Assembler a;
+  a.or_imm(1, sparc::kG0, 5);  // %g1
+  a.save(14, sparc::kG0, 0);
+  Machine m(a);
+  m.steps(2);
+  EXPECT_EQ(m.cpu.reg(1), 5u);
+}
+
+TEST(Leon, CycleModel) {
+  sparc::Assembler a;
+  a.or_imm(1, sparc::kG0, 1);  // 1
+  a.st(1, sparc::kG0, 0x100);  // 2
+  a.ld(2, sparc::kG0, 0x100);  // 2
+  a.ba("x");                   // 1
+  a.nop();                     // 1
+  a.label("x");
+  a.nop();                     // 1
+  Machine m(a);
+  m.steps(6);
+  EXPECT_EQ(m.cpu.cycles(), 8u);
+  EXPECT_EQ(m.cpu.instructions(), 6u);
+}
+
+TEST(Leon, G0IsHardwiredZero) {
+  sparc::Assembler a;
+  a.or_imm(sparc::kG0, sparc::kG0, 123);
+  a.or_(1, sparc::kG0, sparc::kG0);
+  Machine m(a);
+  m.steps(2);
+  EXPECT_EQ(m.cpu.reg(0), 0u);
+  EXPECT_EQ(m.cpu.reg(1), 0u);
+}
+
+TEST(Leon, UnsupportedInstructionThrows) {
+  Memory mem(64);
+  mem.store_word(0, (2u << 30) | (0x0Fu << 19));  // op3 0x0F (udiv): unsupported
+  LeonCpu cpu(mem);
+  cpu.reset(0);
+  EXPECT_THROW(cpu.step(), Error);
+}
+
+TEST(SparcAssembler, RejectsBadOperands) {
+  sparc::Assembler a;
+  EXPECT_THROW(a.or_imm(1, 0, 5000), Error);   // simm13 range
+  EXPECT_THROW(a.sll(1, 1, 32), Error);
+  EXPECT_THROW(a.sethi(1, 1u << 22), Error);
+}
+
+TEST(SparcAssembler, RejectsUndefinedLabel) {
+  sparc::Assembler a;
+  a.ba("nowhere");
+  a.nop();
+  EXPECT_THROW(a.finish(), Error);
+}
+
+}  // namespace
+}  // namespace nocsched::cpu

@@ -1,0 +1,92 @@
+#include "cpu/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::cpu {
+namespace {
+
+TEST(Memory, WordsAreBigEndian) {
+  Memory mem(64);
+  mem.store_word(0, 0x11223344u);
+  EXPECT_EQ(mem.load_byte(0), 0x11);
+  EXPECT_EQ(mem.load_byte(1), 0x22);
+  EXPECT_EQ(mem.load_byte(2), 0x33);
+  EXPECT_EQ(mem.load_byte(3), 0x44);
+  EXPECT_EQ(mem.load_word(0), 0x11223344u);
+}
+
+TEST(Memory, ByteStores) {
+  Memory mem(64);
+  mem.store_byte(4, 0xAB);
+  mem.store_byte(7, 0xCD);
+  EXPECT_EQ(mem.load_word(4), 0xAB0000CDu);
+}
+
+TEST(Memory, MisalignedWordAccessThrows) {
+  Memory mem(64);
+  EXPECT_THROW(mem.load_word(2), Error);
+  EXPECT_THROW(mem.store_word(1, 0), Error);
+}
+
+TEST(Memory, OutOfRangeThrows) {
+  Memory mem(64);
+  EXPECT_THROW(mem.load_word(64), Error);
+  EXPECT_THROW(mem.store_word(64, 0), Error);
+  EXPECT_THROW(mem.load_byte(100), Error);
+}
+
+TEST(Memory, RejectsBadSizes) {
+  EXPECT_THROW(Memory(0), Error);
+  EXPECT_THROW(Memory(63), Error);  // not a word multiple
+}
+
+TEST(Memory, HaltRegister) {
+  Memory mem(64);
+  EXPECT_FALSE(mem.halted());
+  mem.store_word(Memory::kHalt, 1);
+  EXPECT_TRUE(mem.halted());
+  mem.clear_halted();
+  EXPECT_FALSE(mem.halted());
+}
+
+TEST(Memory, TxRoutesToDevice) {
+  RecordingInterface ni;
+  Memory mem(64, &ni);
+  mem.store_word(Memory::kTx, 0xAA);
+  mem.store_word(Memory::kTx, 0xBB);
+  EXPECT_EQ(ni.injected(), (std::vector<std::uint32_t>{0xAA, 0xBB}));
+}
+
+TEST(Memory, RxReadsFromDevice) {
+  RecordingInterface ni({7, 8});
+  Memory mem(64, &ni);
+  EXPECT_EQ(mem.load_word(Memory::kRx), 7u);
+  EXPECT_EQ(mem.load_word(Memory::kRx), 8u);
+}
+
+TEST(Memory, StatusRegistersAlwaysReady) {
+  Memory mem(64);
+  EXPECT_EQ(mem.load_word(Memory::kTxReady), 1u);
+  EXPECT_EQ(mem.load_word(Memory::kRxAvail), 1u);
+}
+
+TEST(Memory, IoWithoutDeviceThrowsOnDataAccess) {
+  Memory mem(64);
+  EXPECT_THROW(mem.store_word(Memory::kTx, 1), Error);
+  EXPECT_THROW(mem.load_word(Memory::kRx), Error);
+  EXPECT_NO_THROW(mem.store_word(Memory::kHalt, 1));  // halt needs no device
+}
+
+TEST(RecordingInterface, CounterFallbackAfterScript) {
+  RecordingInterface ni({100});
+  EXPECT_EQ(ni.consume_flit(), 100u);
+  const std::uint32_t a = ni.consume_flit();
+  const std::uint32_t b = ni.consume_flit();
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(ni.consumed().size(), 3u);
+}
+
+}  // namespace
+}  // namespace nocsched::cpu

@@ -1,0 +1,253 @@
+#include "cpu/plasma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cpu/mips_asm.hpp"
+
+namespace nocsched::cpu {
+namespace {
+
+// Assemble, load at 0, run `steps` instructions, return the CPU.
+struct Machine {
+  explicit Machine(mips::Assembler& a) : mem(4096), cpu(mem) {
+    std::uint32_t addr = 0;
+    for (const std::uint32_t w : a.finish()) {
+      mem.store_word(addr, w);
+      addr += 4;
+    }
+    cpu.reset(0);
+  }
+  void steps(int n) {
+    for (int i = 0; i < n; ++i) cpu.step();
+  }
+  Memory mem;
+  PlasmaCpu cpu;
+};
+
+TEST(Plasma, ImmediateArithmetic) {
+  mips::Assembler a;
+  a.addiu(8, 0, 100);
+  a.addiu(9, 8, -30);
+  a.ori(10, 0, 0xF0F0);
+  a.andi(11, 10, 0xFF00);
+  a.xori(12, 10, 0xFFFF);
+  a.lui(13, 0x1234);
+  Machine m(a);
+  m.steps(6);
+  EXPECT_EQ(m.cpu.reg(8), 100u);
+  EXPECT_EQ(m.cpu.reg(9), 70u);
+  EXPECT_EQ(m.cpu.reg(10), 0xF0F0u);
+  EXPECT_EQ(m.cpu.reg(11), 0xF000u);
+  EXPECT_EQ(m.cpu.reg(12), 0x0F0Fu);
+  EXPECT_EQ(m.cpu.reg(13), 0x12340000u);
+}
+
+TEST(Plasma, RegisterArithmeticAndLogic) {
+  mips::Assembler a;
+  a.addiu(8, 0, 12);
+  a.addiu(9, 0, 5);
+  a.addu(10, 8, 9);
+  a.subu(11, 8, 9);
+  a.and_(12, 8, 9);
+  a.or_(13, 8, 9);
+  a.xor_(14, 8, 9);
+  a.nor_(15, 8, 9);
+  Machine m(a);
+  m.steps(8);
+  EXPECT_EQ(m.cpu.reg(10), 17u);
+  EXPECT_EQ(m.cpu.reg(11), 7u);
+  EXPECT_EQ(m.cpu.reg(12), 4u);
+  EXPECT_EQ(m.cpu.reg(13), 13u);
+  EXPECT_EQ(m.cpu.reg(14), 9u);
+  EXPECT_EQ(m.cpu.reg(15), ~13u);
+}
+
+TEST(Plasma, Shifts) {
+  mips::Assembler a;
+  a.lui(8, 0x8000);     // 0x80000000
+  a.ori(8, 8, 0x0010);  // 0x80000010
+  a.sll(9, 8, 4);
+  a.srl(10, 8, 4);
+  a.sra(11, 8, 4);
+  a.addiu(12, 0, 8);
+  a.sllv(13, 8, 12);
+  a.srlv(14, 8, 12);
+  Machine m(a);
+  m.steps(8);
+  EXPECT_EQ(m.cpu.reg(9), 0x00000100u);
+  EXPECT_EQ(m.cpu.reg(10), 0x08000001u);
+  EXPECT_EQ(m.cpu.reg(11), 0xF8000001u);  // arithmetic: sign fills
+  EXPECT_EQ(m.cpu.reg(13), 0x00001000u);
+  EXPECT_EQ(m.cpu.reg(14), 0x00800000u);
+}
+
+TEST(Plasma, SetLessThanSignedAndUnsigned) {
+  mips::Assembler a;
+  a.addiu(8, 0, -1);  // 0xFFFFFFFF
+  a.addiu(9, 0, 1);
+  a.slt(10, 8, 9);   // -1 < 1 signed -> 1
+  a.sltu(11, 8, 9);  // 0xFFFFFFFF < 1 unsigned -> 0
+  a.slti(12, 8, 0);  // -1 < 0 -> 1
+  Machine m(a);
+  m.steps(5);
+  EXPECT_EQ(m.cpu.reg(10), 1u);
+  EXPECT_EQ(m.cpu.reg(11), 0u);
+  EXPECT_EQ(m.cpu.reg(12), 1u);
+}
+
+TEST(Plasma, RegisterZeroIsHardwired) {
+  mips::Assembler a;
+  a.addiu(0, 0, 55);
+  a.addu(8, 0, 0);
+  Machine m(a);
+  m.steps(2);
+  EXPECT_EQ(m.cpu.reg(0), 0u);
+  EXPECT_EQ(m.cpu.reg(8), 0u);
+}
+
+TEST(Plasma, LoadsAndStores) {
+  mips::Assembler a;
+  a.ori(8, 0, 0x100);
+  a.lui(9, 0xDEAD);
+  a.ori(9, 9, 0xBEEF);
+  a.sw(9, 4, 8);       // [0x104] = 0xDEADBEEF
+  a.lw(10, 4, 8);
+  a.lb(11, 4, 8);      // 0xDE sign-extended
+  a.lbu(12, 4, 8);     // 0xDE zero-extended
+  a.sb(9, 0, 8);       // [0x100] = 0xEF
+  a.lbu(13, 0, 8);
+  Machine m(a);
+  m.steps(9);
+  EXPECT_EQ(m.cpu.reg(10), 0xDEADBEEFu);
+  EXPECT_EQ(m.cpu.reg(11), 0xFFFFFFDEu);
+  EXPECT_EQ(m.cpu.reg(12), 0xDEu);
+  EXPECT_EQ(m.cpu.reg(13), 0xEFu);
+}
+
+TEST(Plasma, BranchDelaySlotExecutes) {
+  mips::Assembler a;
+  a.addiu(8, 0, 1);
+  a.beq(0, 0, "target");  // always taken
+  a.addiu(9, 0, 2);       // delay slot: executes
+  a.addiu(10, 0, 3);      // skipped
+  a.label("target");
+  a.addiu(11, 0, 4);
+  Machine m(a);
+  m.steps(4);
+  EXPECT_EQ(m.cpu.reg(8), 1u);
+  EXPECT_EQ(m.cpu.reg(9), 2u);  // delay slot ran
+  EXPECT_EQ(m.cpu.reg(10), 0u);
+  EXPECT_EQ(m.cpu.reg(11), 4u);
+}
+
+TEST(Plasma, ConditionalBranches) {
+  mips::Assembler a;
+  a.addiu(8, 0, 5);
+  a.addiu(9, 0, 5);
+  a.bne(8, 9, "skip");  // not taken
+  a.nop();
+  a.addiu(10, 0, 1);    // executes
+  a.blez(0, "skip2");   // 0 <= 0: taken
+  a.nop();
+  a.addiu(11, 0, 99);   // skipped
+  a.label("skip");
+  a.label("skip2");
+  a.bgtz(8, "end");     // 5 > 0: taken
+  a.nop();
+  a.label("end");
+  a.addiu(12, 0, 7);
+  Machine m(a);
+  m.steps(10);
+  EXPECT_EQ(m.cpu.reg(10), 1u);
+  EXPECT_EQ(m.cpu.reg(11), 0u);
+  EXPECT_EQ(m.cpu.reg(12), 7u);
+}
+
+TEST(Plasma, JumpAndLink) {
+  mips::Assembler a;
+  a.jal("func");           // at 0x0: $31 = 0x8
+  a.nop();                 // delay slot at 0x4
+  a.addiu(8, 0, 1);        // return lands here (0x8)
+  a.beq(0, 0, "done");
+  a.nop();
+  a.label("func");
+  a.addiu(9, 0, 2);
+  a.jr(31);
+  a.nop();                 // delay slot of jr
+  a.label("done");
+  Machine m(a);
+  m.steps(7);
+  EXPECT_EQ(m.cpu.reg(31), 8u);
+  EXPECT_EQ(m.cpu.reg(9), 2u);
+  EXPECT_EQ(m.cpu.reg(8), 1u);
+}
+
+TEST(Plasma, CycleModel) {
+  mips::Assembler a;
+  a.addiu(8, 0, 1);  // 1 cycle
+  a.sw(8, 0x100, 0);  // 2 cycles
+  a.lw(9, 0x100, 0);  // 2 cycles
+  a.beq(0, 0, "next");  // taken: 2 cycles
+  a.nop();  // 1 cycle
+  a.label("next");
+  a.nop();  // 1 cycle
+  Machine m(a);
+  m.steps(6);
+  EXPECT_EQ(m.cpu.cycles(), 9u);
+  EXPECT_EQ(m.cpu.instructions(), 6u);
+}
+
+TEST(Plasma, UntakenBranchCostsOneCycle) {
+  mips::Assembler a;
+  a.bne(0, 0, "never");
+  a.nop();
+  a.label("never");
+  Machine m(a);
+  m.steps(1);
+  EXPECT_EQ(m.cpu.cycles(), 1u);
+}
+
+TEST(Plasma, UnsupportedOpcodeThrows) {
+  Memory mem(64);
+  mem.store_word(0, 0x70000000u);  // opcode 0x1C: not MIPS-I integer
+  PlasmaCpu cpu(mem);
+  cpu.reset(0);
+  EXPECT_THROW(cpu.step(), Error);
+}
+
+TEST(Plasma, ResetClearsState) {
+  mips::Assembler a;
+  a.addiu(8, 0, 42);
+  Machine m(a);
+  m.steps(1);
+  EXPECT_EQ(m.cpu.reg(8), 42u);
+  m.cpu.reset(0);
+  EXPECT_EQ(m.cpu.reg(8), 0u);
+  EXPECT_EQ(m.cpu.cycles(), 0u);
+  EXPECT_EQ(m.cpu.pc(), 0u);
+}
+
+TEST(MipsAssembler, RejectsBadOperands) {
+  mips::Assembler a;
+  EXPECT_THROW(a.addiu(8, 0, 40000), Error);
+  EXPECT_THROW(a.ori(8, 0, 0x10000), Error);
+  EXPECT_THROW(a.sll(32, 0, 1), Error);
+}
+
+TEST(MipsAssembler, RejectsUndefinedAndDuplicateLabels) {
+  {
+    mips::Assembler a;
+    a.beq(0, 0, "nowhere");
+    a.nop();
+    EXPECT_THROW(a.finish(), Error);
+  }
+  {
+    mips::Assembler a;
+    a.label("x");
+    EXPECT_THROW(a.label("x"), Error);
+  }
+}
+
+}  // namespace
+}  // namespace nocsched::cpu

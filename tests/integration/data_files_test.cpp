@@ -1,0 +1,34 @@
+// The committed data/*.soc files are generated from the built-in
+// definitions (tools/gen_benchmarks); these tests guard that they stay
+// in sync and parse cleanly from disk.
+
+#include <gtest/gtest.h>
+
+#include "itc02/builtin.hpp"
+#include "itc02/parser.hpp"
+
+namespace nocsched::itc02 {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(NOCSCHED_DATA_DIR) + "/" + name + ".soc";
+}
+
+class DataFiles : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DataFiles, ParsesAndMatchesBuiltin) {
+  const Soc from_disk = load_file(data_path(GetParam()));
+  EXPECT_EQ(from_disk, builtin_by_name(GetParam()))
+      << "data/" << GetParam() << ".soc is stale — rerun tools/gen_benchmarks";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DataFiles,
+                         ::testing::Values("d695", "p22810", "p93791"));
+
+TEST(DataFiles, D695FileCarriesLiteraturePower) {
+  const Soc soc = load_file(data_path("d695"));
+  EXPECT_DOUBLE_EQ(soc.total_test_power(), 6472.0);
+}
+
+}  // namespace
+}  // namespace nocsched::itc02

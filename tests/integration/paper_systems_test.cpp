@@ -1,0 +1,145 @@
+// Integration checks over the paper's actual evaluation grid: every
+// (system, processor kind, count, power setting) the paper reports must
+// plan, validate, and reproduce the qualitative findings.
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "report/experiments.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched {
+namespace {
+
+using itc02::ProcessorKind;
+
+struct GridCase {
+  const char* soc;
+  ProcessorKind kind;
+  int max_procs;
+};
+
+class PaperGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PaperGrid, EveryConfigurationPlansAndValidates) {
+  const GridCase& g = GetParam();
+  const core::PlannerParams params = core::PlannerParams::paper();
+  for (int procs : {0, 2, g.max_procs}) {
+    const core::SystemModel sys =
+        core::SystemModel::paper_system(g.soc, g.kind, procs, params);
+    for (const bool constrained : {true, false}) {
+      const power::PowerBudget budget =
+          constrained ? power::PowerBudget::fraction_of_total(sys.soc(), 0.5)
+                      : power::PowerBudget::unconstrained();
+      const core::Schedule s = core::plan_tests(sys, budget);
+      const sim::ValidationReport report = sim::validate(sys, s);
+      EXPECT_TRUE(report.ok())
+          << g.soc << " procs=" << procs
+          << (report.violations.empty() ? "" : " | " + report.violations[0]);
+      EXPECT_EQ(s.sessions.size(), sys.soc().modules.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, PaperGrid,
+    ::testing::Values(GridCase{"d695", ProcessorKind::kLeon, 6},
+                      GridCase{"d695", ProcessorKind::kPlasma, 6},
+                      GridCase{"p22810", ProcessorKind::kLeon, 8},
+                      GridCase{"p22810", ProcessorKind::kPlasma, 8},
+                      GridCase{"p93791", ProcessorKind::kLeon, 8},
+                      GridCase{"p93791", ProcessorKind::kPlasma, 8}),
+    [](const auto& info) {
+      return std::string(info.param.soc) + "_" +
+             std::string(itc02::to_string(info.param.kind));
+    });
+
+TEST(PaperFindings, BaselinesLandOnTheFigureAxes) {
+  // Calibration guard: the no-reuse baselines sit in the ranges the
+  // paper's Figure 1 axes show (DESIGN.md §2).  Catches regressions in
+  // the benchmark data or the cost model.
+  const core::PlannerParams params = core::PlannerParams::paper();
+  const auto baseline = [&](const char* soc) {
+    const core::SystemModel sys =
+        core::SystemModel::paper_system(soc, ProcessorKind::kLeon, 0, params);
+    return core::plan_tests(sys, power::PowerBudget::unconstrained()).makespan;
+  };
+  const std::uint64_t d695 = baseline("d695");
+  EXPECT_GE(d695, 140000u);
+  EXPECT_LE(d695, 185000u);
+  const std::uint64_t p22810 = baseline("p22810");
+  EXPECT_GE(p22810, 800000u);
+  EXPECT_LE(p22810, 1100000u);
+  const std::uint64_t p93791 = baseline("p93791");
+  EXPECT_GE(p93791, 1400000u);
+  EXPECT_LE(p93791, 1800000u);
+}
+
+TEST(PaperFindings, ReuseReducesTestTimeEverywhere) {
+  const core::PlannerParams params = core::PlannerParams::paper();
+  for (const std::string& soc : itc02::builtin_names()) {
+    const int procs = soc == "d695" ? 6 : 8;
+    const report::ReuseSweep sweep =
+        report::run_paper_panel(soc, ProcessorKind::kLeon, params);
+    // Best unconstrained reduction across the sweep is double-digit.
+    double best = 0.0;
+    for (int c = 2; c <= procs; c += 2) {
+      best = std::max(best, sweep.reduction_at(c, std::nullopt));
+    }
+    EXPECT_GT(best, 0.15) << soc;
+    EXPECT_LT(best, 0.60) << soc;  // and not implausibly large
+  }
+}
+
+TEST(PaperFindings, LargerSystemsGainMore) {
+  // The paper: d695 gains ~28%, p93791 up to 44%.
+  const core::PlannerParams params = core::PlannerParams::paper();
+  const auto best_gain = [&](const char* soc) {
+    const report::ReuseSweep sweep =
+        report::run_paper_panel(soc, ProcessorKind::kLeon, params);
+    double best = 0.0;
+    for (const report::SweepPoint& p : sweep.points) {
+      if (p.processors > 0 && !p.power_fraction) {
+        best = std::max(best, sweep.reduction_at(p.processors, std::nullopt));
+      }
+    }
+    return best;
+  };
+  EXPECT_GT(best_gain("p93791"), best_gain("d695"));
+}
+
+TEST(PaperFindings, PowerLimitNeverHelps) {
+  const core::PlannerParams params = core::PlannerParams::paper();
+  for (const std::string& soc : itc02::builtin_names()) {
+    const report::ReuseSweep sweep =
+        report::run_paper_panel(soc, ProcessorKind::kLeon, params);
+    for (const report::SweepPoint& p : sweep.points) {
+      if (!p.power_fraction) continue;
+      EXPECT_GE(p.test_time, sweep.time_at(p.processors, std::nullopt))
+          << soc << " procs=" << p.processors;
+    }
+  }
+}
+
+TEST(PaperFindings, GreedyAnomalyExists) {
+  // The paper explains p22810's irregularity by the greedy taking a
+  // free-but-slower processor.  The cost-aware policy must beat or
+  // match the greedy somewhere on the grid.
+  core::PlannerParams greedy = core::PlannerParams::paper();
+  core::PlannerParams aware = greedy;
+  aware.resource_choice = core::ResourceChoice::kEarliestCompletion;
+  bool aware_wins_somewhere = false;
+  for (int procs : {2, 4, 6, 8}) {
+    const core::SystemModel gsys =
+        core::SystemModel::paper_system("p22810", ProcessorKind::kLeon, procs, greedy);
+    const core::SystemModel asys =
+        core::SystemModel::paper_system("p22810", ProcessorKind::kLeon, procs, aware);
+    const auto gt = core::plan_tests(gsys, power::PowerBudget::unconstrained()).makespan;
+    const auto at = core::plan_tests(asys, power::PowerBudget::unconstrained()).makespan;
+    if (at < gt) aware_wins_somewhere = true;
+  }
+  EXPECT_TRUE(aware_wins_somewhere);
+}
+
+}  // namespace
+}  // namespace nocsched

@@ -1,0 +1,122 @@
+#include "itc02/builtin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::itc02 {
+namespace {
+
+TEST(D695, HasLiteratureStructure) {
+  const Soc soc = builtin_d695();
+  EXPECT_EQ(soc.name, "d695");
+  ASSERT_EQ(soc.modules.size(), 10u);
+  EXPECT_TRUE(soc.processor_ids().empty());
+
+  // Spot-check the published per-core data.
+  const Module& c6288 = soc.module(1);
+  EXPECT_EQ(c6288.name, "c6288");
+  EXPECT_EQ(c6288.inputs, 32u);
+  EXPECT_EQ(c6288.scan_flops(), 0u);
+  EXPECT_EQ(c6288.total_patterns(), 12u);
+
+  const Module& s38584 = soc.module(5);
+  EXPECT_EQ(s38584.name, "s38584");
+  EXPECT_EQ(s38584.scan_flops(), 1426u);
+  EXPECT_EQ(s38584.scan_chains.size(), 32u);
+  EXPECT_EQ(s38584.total_patterns(), 110u);
+
+  const Module& s13207 = soc.module(6);
+  EXPECT_EQ(s13207.scan_flops(), 638u);
+  EXPECT_EQ(s13207.total_patterns(), 234u);
+
+  const Module& s35932 = soc.module(9);
+  EXPECT_EQ(s35932.scan_flops(), 1728u);
+  EXPECT_EQ(s35932.total_patterns(), 12u);
+}
+
+TEST(D695, PowerValuesMatchLiterature) {
+  const Soc soc = builtin_d695();
+  const double expected[] = {660, 602, 823, 275, 690, 354, 530, 753, 641, 1144};
+  double total = 0.0;
+  for (int id = 1; id <= 10; ++id) {
+    EXPECT_DOUBLE_EQ(soc.module(id).test_power, expected[id - 1]);
+    total += expected[id - 1];
+  }
+  EXPECT_DOUBLE_EQ(soc.total_test_power(), total);
+  EXPECT_DOUBLE_EQ(total, 6472.0);
+}
+
+TEST(Reconstructions, HaveRealModuleCounts) {
+  EXPECT_EQ(builtin_p22810().modules.size(), 28u);
+  EXPECT_EQ(builtin_p93791().modules.size(), 32u);
+}
+
+TEST(Reconstructions, P93791HasDominantCore) {
+  const Soc soc = builtin_p93791();
+  // The reconstruction mirrors the real SoC's dominance structure: the
+  // largest core holds a large multiple of the median scan volume.
+  std::uint64_t largest = 0;
+  for (const Module& m : soc.modules) largest = std::max(largest, m.scan_flops());
+  EXPECT_EQ(largest, soc.module(1).scan_flops());
+  EXPECT_GT(largest, 10000u);
+}
+
+TEST(Builtins, LookupByName) {
+  EXPECT_EQ(builtin_by_name("d695").name, "d695");
+  EXPECT_EQ(builtin_by_name("p22810").name, "p22810");
+  EXPECT_EQ(builtin_by_name("p93791").name, "p93791");
+  EXPECT_THROW(builtin_by_name("p12345"), Error);
+}
+
+TEST(Builtins, NamesListMatchesPaperOrder) {
+  EXPECT_EQ(builtin_names(), (std::vector<std::string>{"d695", "p22810", "p93791"}));
+}
+
+TEST(ProcessorModule, KindsAndNames) {
+  const Module leon = processor_module(ProcessorKind::kLeon, 11, 1);
+  EXPECT_EQ(leon.id, 11);
+  EXPECT_EQ(leon.name, "leon_1");
+  EXPECT_TRUE(leon.is_processor);
+  EXPECT_GT(leon.scan_flops(), 0u);
+  EXPECT_GT(leon.total_patterns(), 0u);
+
+  const Module plasma = processor_module(ProcessorKind::kPlasma, 12, 3);
+  EXPECT_EQ(plasma.name, "plasma_3");
+  EXPECT_TRUE(plasma.is_processor);
+  // Plasma is the smaller core.
+  EXPECT_LT(plasma.scan_flops(), leon.scan_flops());
+  EXPECT_LT(plasma.test_power, leon.test_power);
+}
+
+TEST(ToString, KindNames) {
+  EXPECT_EQ(to_string(ProcessorKind::kLeon), "leon");
+  EXPECT_EQ(to_string(ProcessorKind::kPlasma), "plasma");
+}
+
+TEST(WithProcessors, AppendsAndRenames) {
+  const Soc soc = with_processors(builtin_d695(), ProcessorKind::kLeon, 6);
+  EXPECT_EQ(soc.name, "d695_leon");
+  EXPECT_EQ(soc.modules.size(), 16u);  // the paper's 16-core system
+  EXPECT_EQ(soc.processor_ids(), (std::vector<int>{11, 12, 13, 14, 15, 16}));
+  EXPECT_EQ(soc.module(11).name, "leon_1");
+  EXPECT_EQ(soc.module(16).name, "leon_6");
+}
+
+TEST(WithProcessors, PaperSystemSizes) {
+  EXPECT_EQ(with_processors(builtin_p22810(), ProcessorKind::kPlasma, 8).modules.size(), 36u);
+  EXPECT_EQ(with_processors(builtin_p93791(), ProcessorKind::kLeon, 8).modules.size(), 40u);
+}
+
+TEST(WithProcessors, ZeroCountKeepsCores) {
+  const Soc soc = with_processors(builtin_d695(), ProcessorKind::kPlasma, 0);
+  EXPECT_EQ(soc.modules.size(), 10u);
+  EXPECT_EQ(soc.name, "d695_plasma");
+}
+
+TEST(WithProcessors, NegativeCountThrows) {
+  EXPECT_THROW(with_processors(builtin_d695(), ProcessorKind::kLeon, -1), Error);
+}
+
+}  // namespace
+}  // namespace nocsched::itc02

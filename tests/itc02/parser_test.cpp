@@ -1,0 +1,157 @@
+#include "itc02/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::itc02 {
+namespace {
+
+constexpr const char* kMinimal = R"(
+# a comment
+SocName tiny
+TotalModules 1
+
+Module 1 'alpha' Inputs 3 Outputs 2 Bidirs 1 TestPower 42.5
+  ScanChains 2 : 8 7
+  Test 1 Patterns 10 ScanUse 1
+)";
+
+TEST(Parser, ParsesMinimalDocument) {
+  const Soc soc = parse(kMinimal);
+  EXPECT_EQ(soc.name, "tiny");
+  ASSERT_EQ(soc.modules.size(), 1u);
+  const Module& m = soc.modules[0];
+  EXPECT_EQ(m.id, 1);
+  EXPECT_EQ(m.name, "alpha");
+  EXPECT_EQ(m.inputs, 3u);
+  EXPECT_EQ(m.outputs, 2u);
+  EXPECT_EQ(m.bidirs, 1u);
+  EXPECT_DOUBLE_EQ(m.test_power, 42.5);
+  EXPECT_EQ(m.scan_chains, (std::vector<std::uint32_t>{8, 7}));
+  ASSERT_EQ(m.tests.size(), 1u);
+  EXPECT_EQ(m.tests[0].patterns, 10u);
+  EXPECT_TRUE(m.tests[0].uses_scan);
+  EXPECT_FALSE(m.is_processor);
+}
+
+TEST(Parser, QuotedNamesMayContainSpaces) {
+  const Soc soc = parse(
+      "SocName s\nModule 1 'my fancy core' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+      "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n");
+  EXPECT_EQ(soc.modules[0].name, "my fancy core");
+}
+
+TEST(Parser, ProcessorFlag) {
+  const Soc soc = parse(
+      "SocName s\nModule 1 'leon_1' Inputs 1 Outputs 1 Bidirs 0 TestPower 1 Processor 1\n"
+      "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n");
+  EXPECT_TRUE(soc.modules[0].is_processor);
+}
+
+TEST(Parser, MultipleTestsPerModule) {
+  const Soc soc = parse(
+      "SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+      "ScanChains 1 : 5\nTest 1 Patterns 10 ScanUse 1\nTest 2 Patterns 3 ScanUse 0\n");
+  ASSERT_EQ(soc.modules[0].tests.size(), 2u);
+  EXPECT_FALSE(soc.modules[0].tests[1].uses_scan);
+}
+
+TEST(Parser, TotalModulesIsOptionalButChecked) {
+  EXPECT_NO_THROW(parse(
+      "SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+      "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"));
+  EXPECT_THROW(parse("SocName s\nTotalModules 2\n"
+                     "Module 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnoredAnywhere) {
+  const Soc soc = parse(
+      "# head\nSocName s # trailing\n\n  # indented comment\n"
+      "Module 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n\n"
+      "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n# tail\n");
+  EXPECT_EQ(soc.modules.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+          "ScanChains nope\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ScanChains"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsEmptyDocument) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("# only comments\n"), Error);
+}
+
+TEST(Parser, RejectsMissingSocName) {
+  EXPECT_THROW(parse("Module 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+}
+
+TEST(Parser, RejectsMissingHeaderFields) {
+  // No TestPower.
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0\n"
+                     "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+  // No Inputs.
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+}
+
+TEST(Parser, RejectsScanChainCountMismatch) {
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 2 : 8\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0 : 8\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+}
+
+TEST(Parser, RejectsModuleWithoutTestLines) {
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\n"),
+               Error);
+}
+
+TEST(Parser, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse("SocName s\nModule 1 'm Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+}
+
+TEST(Parser, RejectsMissingTestFields) {
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 ScanUse 0\n"),
+               Error);
+  EXPECT_THROW(parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 Patterns 5\n"),
+               Error);
+}
+
+TEST(Parser, ResultIsValidated) {
+  // Structurally parseable but semantically invalid: ids not 1..N.
+  EXPECT_THROW(parse("SocName s\nModule 2 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+                     "ScanChains 0\nTest 1 Patterns 1 ScanUse 0\n"),
+               Error);
+}
+
+TEST(LoadFile, MissingFileThrowsWithPath) {
+  try {
+    load_file("/nonexistent/path.soc");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/path.soc"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace nocsched::itc02

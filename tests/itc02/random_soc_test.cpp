@@ -1,0 +1,81 @@
+#include "itc02/random_soc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::itc02 {
+namespace {
+
+class RandomSocSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSocSeeds, AlwaysValidAndWithinBounds) {
+  Rng rng(GetParam());
+  RandomSocSpec spec;
+  spec.min_cores = 3;
+  spec.max_cores = 12;
+  spec.max_scan_flops = 500;
+  spec.max_patterns = 100;
+  const Soc soc = random_soc(rng, spec);
+  EXPECT_NO_THROW(validate(soc));
+  EXPECT_GE(soc.modules.size(), 3u);
+  EXPECT_LE(soc.modules.size(), 12u);
+  for (const Module& m : soc.modules) {
+    EXPECT_LE(m.scan_flops(), 500u);
+    EXPECT_LE(m.inputs, spec.max_terminals);
+    EXPECT_LE(m.outputs, spec.max_terminals);
+    for (const CoreTest& t : m.tests) {
+      EXPECT_GE(t.patterns, 1u);
+      EXPECT_LE(t.patterns, 100u);
+    }
+    EXPECT_LE(m.test_power, spec.max_power);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSocSeeds,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(RandomSoc, DeterministicFromSeed) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_EQ(random_soc(a), random_soc(b));
+}
+
+TEST(RandomSoc, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(random_soc(a), random_soc(b));
+}
+
+TEST(RandomSoc, RejectsBadSpecs) {
+  Rng rng(1);
+  RandomSocSpec bad;
+  bad.min_cores = 0;
+  EXPECT_THROW(random_soc(rng, bad), Error);
+  bad = {};
+  bad.min_cores = 10;
+  bad.max_cores = 5;
+  EXPECT_THROW(random_soc(rng, bad), Error);
+  bad = {};
+  bad.min_patterns = 0;
+  EXPECT_THROW(random_soc(rng, bad), Error);
+}
+
+TEST(RandomSoc, ProducesCombinationalCoresSometimes) {
+  Rng rng(7);
+  RandomSocSpec spec;
+  spec.min_cores = spec.max_cores = 24;
+  spec.combinational_fraction = 0.5;
+  bool saw_combinational = false;
+  bool saw_scan = false;
+  for (int i = 0; i < 5; ++i) {
+    for (const Module& m : random_soc(rng, spec).modules) {
+      (m.scan_chains.empty() ? saw_combinational : saw_scan) = true;
+    }
+  }
+  EXPECT_TRUE(saw_combinational);
+  EXPECT_TRUE(saw_scan);
+}
+
+}  // namespace
+}  // namespace nocsched::itc02

@@ -1,0 +1,57 @@
+#include "itc02/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "itc02/builtin.hpp"
+#include "itc02/parser.hpp"
+#include "itc02/random_soc.hpp"
+
+namespace nocsched::itc02 {
+namespace {
+
+TEST(Writer, RoundTripsBuiltins) {
+  for (const std::string& name : builtin_names()) {
+    const Soc soc = builtin_by_name(name);
+    EXPECT_EQ(parse(to_text(soc)), soc) << name;
+  }
+}
+
+TEST(Writer, RoundTripsProcessorFlag) {
+  const Soc soc = with_processors(builtin_d695(), ProcessorKind::kLeon, 3);
+  const Soc back = parse(to_text(soc));
+  EXPECT_EQ(back, soc);
+  EXPECT_EQ(back.processor_ids().size(), 3u);
+}
+
+TEST(Writer, IntegralPowersPrintPlainly) {
+  const std::string text = to_text(builtin_d695());
+  EXPECT_NE(text.find("TestPower 660"), std::string::npos);
+  EXPECT_EQ(text.find("e+02"), std::string::npos);
+}
+
+TEST(Writer, FractionalPowersRoundTrip) {
+  Soc soc = builtin_d695();
+  soc.modules[0].test_power = 123.456789;
+  EXPECT_DOUBLE_EQ(parse(to_text(soc)).modules[0].test_power, 123.456789);
+}
+
+TEST(Writer, EmitsTotalModules) {
+  const std::string text = to_text(builtin_p22810());
+  EXPECT_NE(text.find("TotalModules 28"), std::string::npos);
+}
+
+// Round-trip property over randomly generated SoCs.
+class WriterRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WriterRoundTrip, RandomSocSurvives) {
+  Rng rng(GetParam());
+  const Soc soc = random_soc(rng);
+  EXPECT_EQ(parse(to_text(soc)), soc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriterRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+}  // namespace
+}  // namespace nocsched::itc02

@@ -1,0 +1,108 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::noc {
+namespace {
+
+TEST(Mesh, Dimensions) {
+  const Mesh m(4, 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.router_count(), 12);
+}
+
+TEST(Mesh, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Mesh(0, 3), Error);
+  EXPECT_THROW(Mesh(3, 0), Error);
+  EXPECT_NO_THROW(Mesh(1, 1));
+}
+
+TEST(Mesh, ChannelCountMatchesGridFormula) {
+  // Directed channels: 2 * (cols-1)*rows + 2 * cols*(rows-1).
+  const Mesh m(5, 6);
+  EXPECT_EQ(m.channel_count(), 2 * (4 * 6) + 2 * (5 * 5));
+  const Mesh single(1, 1);
+  EXPECT_EQ(single.channel_count(), 0);
+}
+
+TEST(Mesh, RouterAtRoundTripsCoordOf) {
+  const Mesh m(5, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      const RouterId r = m.router_at(x, y);
+      const Coord c = m.coord_of(r);
+      EXPECT_EQ(c.x, x);
+      EXPECT_EQ(c.y, y);
+    }
+  }
+}
+
+TEST(Mesh, RouterAtRejectsOutOfRange) {
+  const Mesh m(3, 3);
+  EXPECT_THROW(m.router_at(-1, 0), Error);
+  EXPECT_THROW(m.router_at(3, 0), Error);
+  EXPECT_THROW(m.router_at(0, 3), Error);
+  EXPECT_THROW(m.coord_of(-1), Error);
+  EXPECT_THROW(m.coord_of(9), Error);
+}
+
+TEST(Mesh, ChannelsConnectNeighboursBothWays) {
+  const Mesh m(3, 3);
+  const RouterId a = m.router_at(1, 1);
+  const RouterId b = m.router_at(2, 1);
+  const ChannelId ab = m.channel_between(a, b);
+  const ChannelId ba = m.channel_between(b, a);
+  EXPECT_NE(ab, ba);  // directed
+  EXPECT_EQ(m.channel_source(ab), a);
+  EXPECT_EQ(m.channel_target(ab), b);
+  EXPECT_EQ(m.channel_source(ba), b);
+  EXPECT_EQ(m.channel_target(ba), a);
+}
+
+TEST(Mesh, NonNeighboursHaveNoChannel) {
+  const Mesh m(4, 4);
+  EXPECT_THROW(m.channel_between(m.router_at(0, 0), m.router_at(2, 0)), Error);
+  EXPECT_THROW(m.channel_between(m.router_at(0, 0), m.router_at(1, 1)), Error);
+  EXPECT_THROW(m.channel_between(m.router_at(0, 0), m.router_at(0, 0)), Error);
+}
+
+TEST(Mesh, ChannelIdsAreDenseAndUnique) {
+  const Mesh m(3, 2);
+  std::vector<bool> seen(static_cast<std::size_t>(m.channel_count()), false);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      const RouterId r = m.router_at(x, y);
+      if (x + 1 < 3) {
+        const ChannelId c = m.channel_between(r, m.router_at(x + 1, y));
+        ASSERT_GE(c, 0);
+        ASSERT_LT(c, m.channel_count());
+        EXPECT_FALSE(seen[static_cast<std::size_t>(c)]);
+        seen[static_cast<std::size_t>(c)] = true;
+      }
+      if (y + 1 < 2) {
+        const ChannelId c = m.channel_between(r, m.router_at(x, y + 1));
+        EXPECT_FALSE(seen[static_cast<std::size_t>(c)]);
+        seen[static_cast<std::size_t>(c)] = true;
+      }
+    }
+  }
+}
+
+TEST(Mesh, HopCountIsManhattan) {
+  const Mesh m(5, 5);
+  EXPECT_EQ(m.hop_count(m.router_at(0, 0), m.router_at(4, 4)), 8);
+  EXPECT_EQ(m.hop_count(m.router_at(2, 3), m.router_at(2, 3)), 0);
+  EXPECT_EQ(m.hop_count(m.router_at(4, 0), m.router_at(0, 1)), 5);
+}
+
+TEST(Mesh, BadChannelIdsThrow) {
+  const Mesh m(2, 2);
+  EXPECT_THROW(m.channel_source(-1), Error);
+  EXPECT_THROW(m.channel_target(m.channel_count()), Error);
+}
+
+}  // namespace
+}  // namespace nocsched::noc

@@ -1,0 +1,83 @@
+#include "noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nocsched::noc {
+namespace {
+
+TEST(XyRoute, EmptyWhenSameRouter) {
+  const Mesh m(4, 4);
+  EXPECT_TRUE(xy_route(m, 5, 5).empty());
+}
+
+TEST(XyRoute, LengthEqualsManhattanDistance) {
+  const Mesh m(5, 6);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const RouterId a = static_cast<RouterId>(rng.below(30));
+    const RouterId b = static_cast<RouterId>(rng.below(30));
+    EXPECT_EQ(xy_route(m, a, b).size(), static_cast<std::size_t>(m.hop_count(a, b)));
+  }
+}
+
+TEST(XyRoute, RoutesXThenY) {
+  const Mesh m(4, 4);
+  const auto route = xy_route(m, m.router_at(0, 0), m.router_at(2, 2));
+  ASSERT_EQ(route.size(), 4u);
+  // First two hops move east along y=0, last two move south along x=2.
+  EXPECT_EQ(m.channel_source(route[0]), m.router_at(0, 0));
+  EXPECT_EQ(m.channel_target(route[0]), m.router_at(1, 0));
+  EXPECT_EQ(m.channel_target(route[1]), m.router_at(2, 0));
+  EXPECT_EQ(m.channel_target(route[2]), m.router_at(2, 1));
+  EXPECT_EQ(m.channel_target(route[3]), m.router_at(2, 2));
+}
+
+TEST(XyRoute, HandlesNegativeDirections) {
+  const Mesh m(4, 4);
+  const auto route = xy_route(m, m.router_at(3, 3), m.router_at(1, 0));
+  ASSERT_EQ(route.size(), 5u);
+  EXPECT_EQ(m.channel_target(route[0]), m.router_at(2, 3));
+  EXPECT_EQ(m.channel_target(route[1]), m.router_at(1, 3));
+  EXPECT_EQ(m.channel_target(route[4]), m.router_at(1, 0));
+}
+
+TEST(XyRoute, ChannelsAreContiguous) {
+  const Mesh m(6, 6);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const RouterId a = static_cast<RouterId>(rng.below(36));
+    const RouterId b = static_cast<RouterId>(rng.below(36));
+    RouterId at = a;
+    for (const ChannelId c : xy_route(m, a, b)) {
+      EXPECT_EQ(m.channel_source(c), at);
+      at = m.channel_target(c);
+    }
+    EXPECT_EQ(at, b);
+  }
+}
+
+TEST(XyRoute, DeterministicPath) {
+  const Mesh m(5, 5);
+  EXPECT_EQ(xy_route(m, 0, 24), xy_route(m, 0, 24));
+}
+
+TEST(XyRoute, ForwardAndReversePathsAreChannelDisjoint) {
+  // Directed channels: the response path never reuses a stimulus
+  // channel, the property the session model relies on.
+  const Mesh m(5, 5);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const RouterId a = static_cast<RouterId>(rng.below(25));
+    const RouterId b = static_cast<RouterId>(rng.below(25));
+    const auto fwd = xy_route(m, a, b);
+    const auto rev = xy_route(m, b, a);
+    for (const ChannelId c : fwd) {
+      EXPECT_EQ(std::count(rev.begin(), rev.end(), c), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocsched::noc

@@ -1,0 +1,110 @@
+// Property suite: the planner must produce a valid schedule for *any*
+// well-formed system, not just the paper's three.  Random SoCs, meshes,
+// floorplans, processor fleets and budgets are generated from seeds and
+// every plan is re-validated by the independent simulator.
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "itc02/random_soc.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched {
+namespace {
+
+core::SystemModel random_system(Rng& rng, const core::PlannerParams& params) {
+  itc02::RandomSocSpec spec;
+  spec.min_cores = 2;
+  spec.max_cores = 14;
+  spec.max_scan_flops = 1500;
+  spec.max_patterns = 120;
+  itc02::Soc soc = itc02::random_soc(rng, spec);
+  const int procs = static_cast<int>(rng.below(4));
+  for (int i = 1; i <= procs; ++i) {
+    const auto kind = rng.chance(0.5) ? itc02::ProcessorKind::kLeon
+                                      : itc02::ProcessorKind::kPlasma;
+    soc.modules.push_back(
+        itc02::processor_module(kind, static_cast<int>(soc.modules.size()) + 1, i));
+  }
+  itc02::validate(soc);
+
+  const int cols = static_cast<int>(2 + rng.below(4));
+  const int rows = static_cast<int>(2 + rng.below(4));
+  noc::Mesh mesh(cols, rows);
+  auto placement = core::default_placement(soc, mesh);
+  const noc::RouterId in = core::default_ate_input(mesh);
+  const noc::RouterId out = core::default_ate_output(mesh);
+  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
+                           params);
+}
+
+class ScheduleProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleProperties, GreedyPlansValidateOnRandomSystems) {
+  Rng rng(GetParam());
+  const core::SystemModel sys = random_system(rng, core::PlannerParams::paper());
+  const double fraction = 0.4 + rng.uniform01() * 0.6;
+  const power::PowerBudget budget =
+      rng.chance(0.5) ? power::PowerBudget::fraction_of_total(sys.soc(), fraction)
+                      : power::PowerBudget::unconstrained();
+  const core::Schedule s = core::plan_tests(sys, budget);
+  const sim::ValidationReport report = sim::validate(sys, s);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_EQ(s.sessions.size(), sys.soc().modules.size());
+  EXPECT_LE(s.peak_power, budget.limit * (1 + 1e-9));
+}
+
+TEST_P(ScheduleProperties, EarliestCompletionPlansValidateToo) {
+  Rng rng(GetParam() ^ 0xE0E0E0E0ULL);
+  core::PlannerParams params = core::PlannerParams::paper();
+  params.resource_choice = core::ResourceChoice::kEarliestCompletion;
+  if (rng.chance(0.3)) params.allow_cross_pairing = true;
+  const core::SystemModel sys = random_system(rng, params);
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  const sim::ValidationReport report = sim::validate(sys, s);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST_P(ScheduleProperties, CircuitModelPlansValidate) {
+  Rng rng(GetParam() ^ 0x51515151ULL);
+  core::PlannerParams params = core::PlannerParams::paper();
+  params.channel_model = core::ChannelModel::kCircuit;
+  const core::SystemModel sys = random_system(rng, params);
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  const sim::ValidationReport report = sim::validate(sys, s);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST_P(ScheduleProperties, MakespanBoundedByStructure) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const core::SystemModel sys = random_system(rng, core::PlannerParams::paper());
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  // Lower bound: the longest single session.
+  std::uint64_t longest = 0;
+  std::uint64_t total = 0;
+  for (const core::Session& session : s.sessions) {
+    longest = std::max(longest, session.duration());
+    total += session.duration();
+  }
+  EXPECT_GE(s.makespan, longest);
+  // Upper bound: fully sequential execution.
+  EXPECT_LE(s.makespan, total);
+}
+
+TEST_P(ScheduleProperties, CrossPairingNeverBreaksValidation) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  core::PlannerParams params = core::PlannerParams::paper();
+  params.allow_cross_pairing = true;
+  params.pair_order = rng.chance(0.5) ? core::PairOrder::kFastestFirst
+                                      : core::PairOrder::kNearestFirst;
+  const core::SystemModel sys = random_system(rng, params);
+  const core::Schedule s = core::plan_tests(sys, power::PowerBudget::unconstrained());
+  const sim::ValidationReport report = sim::validate(sys, s);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperties,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace nocsched

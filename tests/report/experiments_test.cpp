@@ -1,0 +1,79 @@
+#include "report/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace nocsched::report {
+namespace {
+
+ReuseSweep small_sweep() {
+  const std::vector<int> counts = {0, 2};
+  const std::vector<std::optional<double>> fractions = {std::optional<double>(0.5),
+                                                        std::nullopt};
+  return run_reuse_sweep("d695", itc02::ProcessorKind::kLeon, counts, fractions,
+                         core::PlannerParams::paper());
+}
+
+TEST(ReuseSweep, RunsGridAndValidates) {
+  const ReuseSweep sweep = small_sweep();
+  EXPECT_EQ(sweep.soc_name, "d695");
+  EXPECT_EQ(sweep.points.size(), 4u);  // 2 counts x 2 power settings
+  for (const SweepPoint& p : sweep.points) {
+    EXPECT_GT(p.test_time, 0u);
+    EXPECT_GT(p.sessions, 0u);
+  }
+}
+
+TEST(ReuseSweep, TimeAtAndReductionAt) {
+  const ReuseSweep sweep = small_sweep();
+  const std::uint64_t base = sweep.time_at(0, std::nullopt);
+  const std::uint64_t with = sweep.time_at(2, std::nullopt);
+  EXPECT_DOUBLE_EQ(sweep.reduction_at(2, std::nullopt),
+                   1.0 - static_cast<double>(with) / static_cast<double>(base));
+  EXPECT_DOUBLE_EQ(sweep.reduction_at(0, std::nullopt), 0.0);
+  EXPECT_THROW(sweep.time_at(4, std::nullopt), Error);
+  EXPECT_THROW(sweep.time_at(0, 0.9), Error);
+}
+
+TEST(ReuseSweep, BaselineIgnoresProcessorReuse) {
+  const ReuseSweep sweep = small_sweep();
+  // 0-processor schedules: 10 sessions (the d695 cores).
+  for (const SweepPoint& p : sweep.points) {
+    if (p.processors == 0) EXPECT_EQ(p.sessions, 10u);
+    if (p.processors == 2) EXPECT_EQ(p.sessions, 12u);
+  }
+}
+
+TEST(ProcLabel, PaperAxisLabels) {
+  EXPECT_EQ(proc_label(0), "noproc");
+  EXPECT_EQ(proc_label(2), "2proc");
+  EXPECT_EQ(proc_label(8), "8proc");
+}
+
+TEST(FigurePanel, ContainsGroupsAndSeries) {
+  const std::string panel = figure_panel(small_sweep());
+  EXPECT_NE(panel.find("noproc"), std::string::npos);
+  EXPECT_NE(panel.find("2proc"), std::string::npos);
+  EXPECT_NE(panel.find("50% power limit"), std::string::npos);
+  EXPECT_NE(panel.find("no power limit"), std::string::npos);
+  EXPECT_NE(panel.find("d695 / leon"), std::string::npos);
+}
+
+TEST(SweepCsv, HeaderAndRows) {
+  const std::string csv = sweep_csv(small_sweep());
+  EXPECT_EQ(csv.find("soc,cpu,processors,power_limit,test_time,peak_power,sessions"), 0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);  // header + 4 points
+  EXPECT_NE(csv.find("d695,leon,0,none,"), std::string::npos);
+  EXPECT_NE(csv.find("d695,leon,2,0.5,"), std::string::npos);
+}
+
+TEST(RunPaperPanel, UsesPaperGrid) {
+  const ReuseSweep d695 = run_paper_panel("d695", itc02::ProcessorKind::kLeon,
+                                          core::PlannerParams::paper());
+  // d695: counts {0,2,4,6} x two power settings.
+  EXPECT_EQ(d695.points.size(), 8u);
+}
+
+}  // namespace
+}  // namespace nocsched::report

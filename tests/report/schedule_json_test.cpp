@@ -1,0 +1,77 @@
+#include "report/schedule_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+
+namespace nocsched::report {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : sys(core::SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 2,
+                                            core::PlannerParams::paper())),
+        schedule(core::plan_tests(sys, power::PowerBudget::fraction_of_total(sys.soc(), 0.5))) {}
+  core::SystemModel sys;
+  core::Schedule schedule;
+};
+
+TEST(ScheduleJson, ContainsTopLevelFields) {
+  Fixture f;
+  const std::string json = schedule_json(f.sys, f.schedule);
+  EXPECT_NE(json.find("\"soc\": \"d695_leon\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan\": " + std::to_string(f.schedule.makespan)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"resources\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"sessions\": ["), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ScheduleJson, OneEntryPerSessionAndResource) {
+  Fixture f;
+  const std::string json = schedule_json(f.sys, f.schedule);
+  std::size_t modules = 0;
+  for (std::size_t pos = json.find("\"module\":"); pos != std::string::npos;
+       pos = json.find("\"module\":", pos + 1)) {
+    ++modules;
+  }
+  EXPECT_EQ(modules, f.schedule.sessions.size());
+  std::size_t kinds = 0;
+  for (std::size_t pos = json.find("\"kind\":"); pos != std::string::npos;
+       pos = json.find("\"kind\":", pos + 1)) {
+    ++kinds;
+  }
+  EXPECT_EQ(kinds, f.sys.endpoints().size());
+}
+
+TEST(ScheduleJson, FiniteLimitIsNumberInfinityIsNull) {
+  Fixture f;
+  // 50% of d695_leon's total power: (6472 + 2*820)/2 = 4056.
+  EXPECT_NE(schedule_json(f.sys, f.schedule).find("\"power_limit\": 4056"),
+            std::string::npos);
+  core::Schedule unconstrained = f.schedule;
+  unconstrained.power_limit = std::numeric_limits<double>::infinity();
+  EXPECT_NE(schedule_json(f.sys, unconstrained).find("\"power_limit\": null"),
+            std::string::npos);
+}
+
+TEST(ScheduleJson, BalancedBracesAndBrackets) {
+  Fixture f;
+  const std::string json = schedule_json(f.sys, f.schedule);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ScheduleJson, EscapesStrings) {
+  Fixture f;
+  // No raw control characters or unescaped quotes inside values.
+  const std::string json = schedule_json(f.sys, f.schedule);
+  for (const char c : json) {
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20);
+  }
+}
+
+}  // namespace
+}  // namespace nocsched::report

@@ -1,0 +1,64 @@
+#include "report/schedule_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+
+namespace nocsched::report {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : sys(core::SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 2,
+                                            core::PlannerParams::paper())),
+        schedule(core::plan_tests(sys, power::PowerBudget::unconstrained())) {}
+  core::SystemModel sys;
+  core::Schedule schedule;
+};
+
+TEST(ScheduleTable, ListsEveryModuleAndInterfaces) {
+  Fixture f;
+  const std::string table = schedule_table(f.sys, f.schedule);
+  for (const itc02::Module& m : f.sys.soc().modules) {
+    EXPECT_NE(table.find(m.name), std::string::npos) << m.name;
+  }
+  EXPECT_NE(table.find("ATE-in"), std::string::npos);
+  EXPECT_NE(table.find("ATE-out"), std::string::npos);
+  EXPECT_NE(table.find("makespan"), std::string::npos);
+}
+
+TEST(Gantt, OneLanePerResource) {
+  Fixture f;
+  const std::string chart = gantt(f.sys, f.schedule, 60);
+  EXPECT_NE(chart.find("ATE-in"), std::string::npos);
+  EXPECT_NE(chart.find("leon#11"), std::string::npos);
+  EXPECT_NE(chart.find("leon#12"), std::string::npos);
+  // Four resource lanes plus the time axis.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 5);
+}
+
+TEST(Gantt, LaneWidthIsRequestedWidth) {
+  Fixture f;
+  const std::string chart = gantt(f.sys, f.schedule, 40);
+  const std::size_t first_bar = chart.find('|');
+  const std::size_t second_bar = chart.find('|', first_bar + 1);
+  EXPECT_EQ(second_bar - first_bar - 1, 40u);
+}
+
+TEST(Gantt, EmptyScheduleHandled) {
+  Fixture f;
+  core::Schedule empty;
+  EXPECT_EQ(gantt(f.sys, empty), "(empty schedule)\n");
+}
+
+TEST(Utilization, ReportsEveryResourceWithPercentages) {
+  Fixture f;
+  const std::string text = utilization_summary(f.sys, f.schedule);
+  EXPECT_NE(text.find("ATE-in"), std::string::npos);
+  EXPECT_NE(text.find("leon#12"), std::string::npos);
+  EXPECT_NE(text.find('%'), std::string::npos);
+  EXPECT_NE(text.find("sessions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nocsched::report

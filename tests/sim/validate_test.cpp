@@ -1,0 +1,181 @@
+#include "sim/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/scheduler.hpp"
+
+namespace nocsched::sim {
+namespace {
+
+using core::PlannerParams;
+using core::Schedule;
+using core::Session;
+using core::SystemModel;
+
+struct Fixture {
+  Fixture()
+      : sys(SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 2,
+                                      PlannerParams::paper())),
+        schedule(core::plan_tests(sys, power::PowerBudget::fraction_of_total(sys.soc(), 0.5))) {}
+  SystemModel sys;
+  Schedule schedule;
+};
+
+bool has_violation(const ValidationReport& report, std::string_view needle) {
+  for (const std::string& v : report.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Validate, AcceptsPlannerOutput) {
+  Fixture f;
+  const ValidationReport report = validate(f.sys, f.schedule);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_NO_THROW(validate_or_throw(f.sys, f.schedule));
+}
+
+TEST(Validate, DetectsMissingModule) {
+  Fixture f;
+  f.schedule.sessions.pop_back();
+  const ValidationReport report = validate(f.sys, f.schedule);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, "tested 0 times"));
+}
+
+TEST(Validate, DetectsDuplicateTest) {
+  Fixture f;
+  f.schedule.sessions.push_back(f.schedule.sessions.front());
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "tested 2 times"));
+}
+
+TEST(Validate, DetectsUnknownModule) {
+  Fixture f;
+  f.schedule.sessions.front().module_id = 999;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "unknown module"));
+}
+
+TEST(Validate, DetectsEmptySession) {
+  Fixture f;
+  f.schedule.sessions.front().end = f.schedule.sessions.front().start;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "empty session"));
+}
+
+TEST(Validate, DetectsWrongMakespan) {
+  Fixture f;
+  f.schedule.makespan += 1;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "makespan"));
+}
+
+TEST(Validate, DetectsResourceDoubleBooking) {
+  Fixture f;
+  // Force the second session onto the first session's resources and
+  // window.
+  Session& a = f.schedule.sessions[0];
+  Session& b = f.schedule.sessions[1];
+  b.source_resource = a.source_resource;
+  b.sink_resource = a.sink_resource;
+  b.start = a.start;
+  b.end = a.end;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "double-booked"));
+}
+
+TEST(Validate, DetectsDurationTampering) {
+  Fixture f;
+  f.schedule.sessions.front().end += 5;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "cost model"));
+}
+
+TEST(Validate, DetectsPowerTampering) {
+  Fixture f;
+  f.schedule.sessions.front().power += 100.0;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "power"));
+}
+
+TEST(Validate, DetectsBudgetOverrun) {
+  Fixture f;
+  f.schedule.power_limit = 1.0;  // pretend the budget was tiny
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "exceeds budget"));
+}
+
+TEST(Validate, DetectsNonXyPath) {
+  Fixture f;
+  // Find a session with a non-empty path and break it.
+  for (Session& s : f.schedule.sessions) {
+    if (!s.path_in.empty()) {
+      std::swap(s.path_in.front(), s.path_in.back());
+      if (s.path_in.size() == 1) s.path_in.clear();
+      break;
+    }
+  }
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "XY route"));
+}
+
+TEST(Validate, DetectsBandwidthTampering) {
+  Fixture f;
+  for (Session& s : f.schedule.sessions) {
+    if (!s.path_in.empty()) {
+      s.bandwidth_in += 0.25;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "bandwidth"));
+}
+
+TEST(Validate, DetectsProcessorUsedBeforeTested) {
+  Fixture f;
+  // Move a CPU-served session to start before the processor's own test
+  // finished.
+  for (Session& s : f.schedule.sessions) {
+    const auto& src = f.sys.endpoints()[static_cast<std::size_t>(s.source_resource)];
+    if (src.is_processor()) {
+      const Session& self = f.schedule.session_for(src.processor_module);
+      const std::uint64_t d = s.duration();
+      s.start = self.start;  // overlaps the self-test
+      s.end = s.start + d;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "ready"));
+}
+
+TEST(Validate, DetectsIllegalRoles) {
+  Fixture f;
+  Session& s = f.schedule.sessions.front();
+  std::swap(s.source_resource, s.sink_resource);  // ATE-out cannot source
+  const ValidationReport report = validate(f.sys, f.schedule);
+  EXPECT_TRUE(has_violation(report, "cannot source"));
+  EXPECT_TRUE(has_violation(report, "cannot sink"));
+}
+
+TEST(Validate, DetectsOutOfRangeResources) {
+  Fixture f;
+  f.schedule.sessions.front().source_resource = 99;
+  EXPECT_TRUE(has_violation(validate(f.sys, f.schedule), "out of range"));
+}
+
+TEST(Validate, ThrowListsAllViolations) {
+  Fixture f;
+  f.schedule.sessions.front().power += 1.0;
+  f.schedule.makespan += 1;
+  try {
+    validate_or_throw(f.sys, f.schedule);
+    FAIL();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cost model"), std::string::npos);
+    EXPECT_NE(what.find("makespan"), std::string::npos);
+  }
+}
+
+TEST(Validate, EmptyScheduleOfEmptySystemWouldFailCoverage) {
+  Fixture f;
+  f.schedule.sessions.clear();
+  const ValidationReport report = validate(f.sys, f.schedule);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.size(), 12u);  // one per untested module
+}
+
+}  // namespace
+}  // namespace nocsched::sim

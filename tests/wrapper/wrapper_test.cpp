@@ -1,0 +1,169 @@
+#include "wrapper/wrapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "itc02/builtin.hpp"
+
+namespace nocsched::wrapper {
+namespace {
+
+itc02::Module make_module(std::vector<std::uint32_t> chains, std::uint32_t in,
+                          std::uint32_t out, std::uint32_t patterns = 10) {
+  itc02::Module m;
+  m.id = 1;
+  m.name = "m";
+  m.inputs = in;
+  m.outputs = out;
+  m.scan_chains = std::move(chains);
+  m.tests = {{patterns, !m.scan_chains.empty()}};
+  m.test_power = 1.0;
+  return m;
+}
+
+TEST(DesignWrapper, ZeroChainsThrows) {
+  EXPECT_THROW(design_wrapper(make_module({}, 4, 4), 0), Error);
+}
+
+TEST(DesignWrapper, CombinationalCoreSpreadsCells) {
+  // 32 input cells over 4 chains -> 8 each; 32 output cells -> 8 each.
+  const WrapperConfig cfg = design_wrapper(make_module({}, 32, 32), 4);
+  EXPECT_EQ(cfg.chains, 4u);
+  EXPECT_EQ(cfg.scan_in_length, 8u);
+  EXPECT_EQ(cfg.scan_out_length, 8u);
+}
+
+TEST(DesignWrapper, UnevenCellsDifferByAtMostOne) {
+  const WrapperConfig cfg = design_wrapper(make_module({}, 10, 7), 4);
+  EXPECT_EQ(cfg.scan_in_length, 3u);   // ceil(10/4)
+  EXPECT_EQ(cfg.scan_out_length, 2u);  // ceil(7/4)
+  const auto in_min = *std::min_element(cfg.in_chain_bits.begin(), cfg.in_chain_bits.end());
+  EXPECT_GE(in_min + 1, cfg.scan_in_length);
+}
+
+TEST(DesignWrapper, InternalChainsOnBothSides) {
+  // One scan chain of 100 plus no terminals: all wrapper chains see the
+  // scan flops on both scan-in and scan-out paths.
+  const WrapperConfig cfg = design_wrapper(make_module({100}, 0, 0), 2);
+  EXPECT_EQ(cfg.scan_in_length, 100u);
+  EXPECT_EQ(cfg.scan_out_length, 100u);
+  // The other chain stays empty.
+  EXPECT_EQ(*std::min_element(cfg.in_chain_bits.begin(), cfg.in_chain_bits.end()), 0u);
+}
+
+TEST(DesignWrapper, LptBalancesChains) {
+  // Chains 6,5,4,3,2,1 over 3 wrapper chains: LPT gives loads 7,7,7.
+  const WrapperConfig cfg = design_wrapper(make_module({6, 5, 4, 3, 2, 1}, 0, 0), 3);
+  EXPECT_EQ(cfg.scan_in_length, 7u);
+  const std::uint64_t total =
+      std::accumulate(cfg.in_chain_bits.begin(), cfg.in_chain_bits.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 21u);
+}
+
+TEST(DesignWrapper, BitsAreConserved) {
+  const itc02::Module m = make_module({40, 30, 20, 10}, 13, 17);
+  const WrapperConfig cfg = design_wrapper(m, 3);
+  const std::uint64_t in_total =
+      std::accumulate(cfg.in_chain_bits.begin(), cfg.in_chain_bits.end(), std::uint64_t{0});
+  const std::uint64_t out_total =
+      std::accumulate(cfg.out_chain_bits.begin(), cfg.out_chain_bits.end(), std::uint64_t{0});
+  EXPECT_EQ(in_total, 100u + 13u);
+  EXPECT_EQ(out_total, 100u + 17u);
+}
+
+TEST(DesignWrapper, BidirsCountOnBothSides) {
+  itc02::Module m = make_module({}, 4, 4);
+  m.bidirs = 8;
+  const WrapperConfig cfg = design_wrapper(m, 2);
+  EXPECT_EQ(cfg.scan_in_length, 6u);   // (4+8)/2
+  EXPECT_EQ(cfg.scan_out_length, 6u);  // (4+8)/2
+}
+
+TEST(DesignWrapper, ExcludeScanModelsFunctionalTest) {
+  const itc02::Module m = make_module({100, 100}, 8, 8);
+  const WrapperConfig cfg = design_wrapper(m, 4, /*include_scan=*/false);
+  EXPECT_EQ(cfg.scan_in_length, 2u);  // only the 8 input cells
+  EXPECT_EQ(cfg.scan_out_length, 2u);
+}
+
+TEST(DesignWrapper, MoreChainsNeverLengthens) {
+  const itc02::Module m = itc02::builtin_d695().module(5);  // s38584
+  std::uint32_t prev = UINT32_MAX;
+  for (std::uint32_t chains : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const WrapperConfig cfg = design_wrapper(m, chains);
+    EXPECT_LE(cfg.scan_in_length, prev);
+    prev = cfg.scan_in_length;
+  }
+}
+
+TEST(DesignWrapper, LptWithinFactorOfLowerBound) {
+  Rng rng(77);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::uint32_t> chains;
+    std::uint64_t total = 0;
+    const auto n = 1 + rng.below(20);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      chains.push_back(static_cast<std::uint32_t>(1 + rng.below(200)));
+      total += chains.back();
+    }
+    const auto wp = static_cast<std::uint32_t>(1 + rng.below(8));
+    const WrapperConfig cfg = design_wrapper(make_module(chains, 0, 0), wp);
+    const std::uint64_t longest = *std::max_element(chains.begin(), chains.end());
+    const std::uint64_t lower = std::max<std::uint64_t>(longest, (total + wp - 1) / wp);
+    EXPECT_GE(cfg.scan_in_length, lower);
+    // LPT is a 4/3-approximation for makespan.
+    EXPECT_LE(cfg.scan_in_length, (lower * 4) / 3 + 1);
+  }
+}
+
+TEST(TestPhase, CoreCyclesMatchesScanFormula) {
+  TestPhase phase;
+  phase.patterns = 100;
+  phase.scan_in_length = 50;
+  phase.scan_out_length = 40;
+  // (1 + max) * p + min
+  EXPECT_EQ(phase.core_cycles(), (1 + 50) * 100 + 40u);
+  phase.scan_in_length = 40;
+  phase.scan_out_length = 50;
+  EXPECT_EQ(phase.core_cycles(), (1 + 50) * 100 + 40u);
+}
+
+TEST(PlanModuleTest, OnePhasePerTest) {
+  itc02::Module m = make_module({64}, 8, 8, 20);
+  m.tests.push_back({5, false});
+  const std::vector<TestPhase> phases = plan_module_test(m, 4);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].patterns, 20u);
+  EXPECT_GT(phases[0].stimulus_bits, phases[1].stimulus_bits);  // scan adds bits
+  EXPECT_EQ(phases[1].stimulus_bits, 8u);
+  EXPECT_EQ(phases[1].response_bits, 8u);
+}
+
+TEST(PlanModuleTest, StimulusAndResponseBits) {
+  const itc02::Module m = make_module({100}, 10, 20, 5);
+  const std::vector<TestPhase> phases = plan_module_test(m, 2);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].stimulus_bits, 110u);
+  EXPECT_EQ(phases[0].response_bits, 120u);
+}
+
+TEST(ModuleTestCycles, SumsPhases) {
+  itc02::Module m = make_module({64}, 8, 8, 20);
+  m.tests.push_back({5, false});
+  const std::vector<TestPhase> phases = plan_module_test(m, 4);
+  EXPECT_EQ(module_test_cycles(m, 4), phases[0].core_cycles() + phases[1].core_cycles());
+}
+
+TEST(ModuleTestCycles, KnownValueForC6288) {
+  // c6288: 32 in / 32 out, combinational, 12 patterns, 4 chains:
+  // si = so = 8, T = (1+8)*12 + 8 = 116.
+  const itc02::Module m = itc02::builtin_d695().module(1);
+  EXPECT_EQ(module_test_cycles(m, 4), 116u);
+}
+
+}  // namespace
+}  // namespace nocsched::wrapper

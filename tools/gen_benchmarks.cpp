@@ -1,0 +1,32 @@
+// Regenerates the committed data/*.soc files from the built-in
+// benchmark definitions (see DESIGN.md §2 for provenance).  Run from
+// anywhere; the output directory is baked in at configure time and can
+// be overridden with a single argument.
+
+#include <iostream>
+#include <string>
+
+#include "itc02/builtin.hpp"
+#include "itc02/parser.hpp"
+#include "itc02/writer.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : NOCSCHED_DATA_DIR;
+  try {
+    for (const std::string& name : nocsched::itc02::builtin_names()) {
+      const nocsched::itc02::Soc soc = nocsched::itc02::builtin_by_name(name);
+      const std::string path = dir + "/" + name + ".soc";
+      nocsched::itc02::save_file(soc, path);
+      // Round-trip sanity before trusting the file.
+      if (nocsched::itc02::load_file(path) != soc) {
+        std::cerr << "round-trip mismatch for " << path << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << path << " (" << soc.modules.size() << " modules)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gen_benchmarks: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

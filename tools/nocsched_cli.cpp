@@ -1,0 +1,208 @@
+// Command-line front end to the planner — the paper's "proposed tool"
+// as a downstream user would run it.
+//
+//   nocsched_cli --soc d695 --cpu leon --procs 4 --power 50 --format table
+//   nocsched_cli --soc-file my.soc --procs 2 --format json
+//
+// Options:
+//   --soc <name>        built-in system: d695 | p22810 | p93791
+//   --soc-file <path>   load an ITC'02-style .soc file instead
+//   --cpu <kind>        leon (default) | plasma
+//   --procs <n>         reused processors appended to the SoC (default 2)
+//   --power <pct>       peak power limit in percent of total core power;
+//                       omit for no limit
+//   --policy <p>        priority: longest (default) | distance | shortest
+//   --choice <c>        resource choice: greedy (default) | earliest
+//   --restarts <n>      multistart random restarts (default 0 = plain greedy)
+//   --wrapper <n>       wrapper chains per core (default 4)
+//   --format <f>        table (default) | gantt | csv | json | all
+//   --mesh <CxR>        mesh dimensions for --soc-file systems
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/multistart.hpp"
+#include "core/scheduler.hpp"
+#include "core/system_model.hpp"
+#include "itc02/parser.hpp"
+#include "report/schedule_json.hpp"
+#include "report/schedule_text.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+using namespace nocsched;
+
+struct Options {
+  std::string soc = "d695";
+  std::string soc_file;
+  itc02::ProcessorKind cpu = itc02::ProcessorKind::kLeon;
+  int procs = 2;
+  std::optional<double> power_pct;
+  core::PriorityPolicy policy = core::PriorityPolicy::kLongestTestFirst;
+  core::ResourceChoice choice = core::ResourceChoice::kFirstAvailable;
+  std::uint64_t restarts = 0;
+  std::uint32_t wrapper = 4;
+  std::string format = "table";
+  int mesh_cols = 0;
+  int mesh_rows = 0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--soc d695|p22810|p93791] [--soc-file path] [--cpu leon|plasma]\n"
+               "       [--procs N] [--power PCT] [--policy longest|distance|shortest]\n"
+               "       [--choice greedy|earliest] [--restarts N] [--wrapper N]\n"
+               "       [--format table|gantt|csv|json|all] [--mesh CxR]\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--help" || key == "-h") usage(argv[0]);
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage(argv[0]);
+    kv[key.substr(2)] = argv[++i];
+  }
+  for (const auto& [key, value] : kv) {
+    if (key == "soc") {
+      opt.soc = value;
+    } else if (key == "soc-file") {
+      opt.soc_file = value;
+    } else if (key == "cpu") {
+      if (value == "leon") {
+        opt.cpu = itc02::ProcessorKind::kLeon;
+      } else if (value == "plasma") {
+        opt.cpu = itc02::ProcessorKind::kPlasma;
+      } else {
+        fail("unknown --cpu '", value, "'");
+      }
+    } else if (key == "procs") {
+      opt.procs = static_cast<int>(parse_u64(value, "--procs"));
+    } else if (key == "power") {
+      opt.power_pct = parse_double(value, "--power");
+    } else if (key == "policy") {
+      if (value == "longest") {
+        opt.policy = core::PriorityPolicy::kLongestTestFirst;
+      } else if (value == "distance") {
+        opt.policy = core::PriorityPolicy::kDistanceFirst;
+      } else if (value == "shortest") {
+        opt.policy = core::PriorityPolicy::kShortestTestFirst;
+      } else {
+        fail("unknown --policy '", value, "'");
+      }
+    } else if (key == "choice") {
+      if (value == "greedy") {
+        opt.choice = core::ResourceChoice::kFirstAvailable;
+      } else if (value == "earliest") {
+        opt.choice = core::ResourceChoice::kEarliestCompletion;
+      } else {
+        fail("unknown --choice '", value, "'");
+      }
+    } else if (key == "restarts") {
+      opt.restarts = parse_u64(value, "--restarts");
+    } else if (key == "wrapper") {
+      opt.wrapper = static_cast<std::uint32_t>(parse_u64(value, "--wrapper"));
+    } else if (key == "format") {
+      opt.format = value;
+    } else if (key == "mesh") {
+      const auto parts = split(value, 'x');
+      ensure(parts.size() == 2, "--mesh expects CxR, e.g. 4x4");
+      opt.mesh_cols = static_cast<int>(parse_u64(parts[0], "--mesh cols"));
+      opt.mesh_rows = static_cast<int>(parse_u64(parts[1], "--mesh rows"));
+    } else {
+      fail("unknown option --", key);
+    }
+  }
+  return opt;
+}
+
+core::SystemModel build_system(const Options& opt, const core::PlannerParams& params) {
+  if (opt.soc_file.empty()) {
+    return core::SystemModel::paper_system(opt.soc, opt.cpu, opt.procs, params);
+  }
+  itc02::Soc soc = itc02::load_file(opt.soc_file);
+  soc = itc02::with_processors(std::move(soc), opt.cpu, opt.procs);
+  noc::Mesh mesh = opt.mesh_cols > 0 ? noc::Mesh(opt.mesh_cols, opt.mesh_rows)
+                                     : [&] {
+                                         // Smallest square mesh that fits one
+                                         // module per router where possible.
+                                         int side = 1;
+                                         while (side * side <
+                                                static_cast<int>(soc.modules.size())) {
+                                           ++side;
+                                         }
+                                         return noc::Mesh(side, side);
+                                       }();
+  auto placement = core::default_placement(soc, mesh);
+  const noc::RouterId in = core::default_ate_input(mesh);
+  const noc::RouterId out = core::default_ate_output(mesh);
+  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
+                           params);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    core::PlannerParams params = core::PlannerParams::paper();
+    params.priority = opt.policy;
+    params.resource_choice = opt.choice;
+    params.wrapper_chains = opt.wrapper;
+
+    const core::SystemModel sys = build_system(opt, params);
+    const power::PowerBudget budget =
+        opt.power_pct ? power::PowerBudget::fraction_of_total(sys.soc(), *opt.power_pct / 100.0)
+                      : power::PowerBudget::unconstrained();
+
+    core::Schedule schedule;
+    if (opt.restarts > 0) {
+      const core::MultistartResult result =
+          core::plan_tests_multistart(sys, budget, opt.restarts);
+      schedule = result.best;
+      std::cerr << "multistart: " << result.restarts << " orders tried, "
+                << result.improvements << " improvements, greedy "
+                << result.first_makespan << " -> best " << schedule.makespan << "\n";
+    } else {
+      schedule = core::plan_tests(sys, budget);
+    }
+    sim::validate_or_throw(sys, schedule);
+
+    const bool all = opt.format == "all";
+    if (opt.format == "table" || all) {
+      std::cout << report::schedule_table(sys, schedule);
+    }
+    if (opt.format == "gantt" || all) {
+      std::cout << report::gantt(sys, schedule);
+    }
+    if (opt.format == "csv" || all) {
+      CsvWriter csv(std::cout, {"module", "name", "source", "sink", "start", "end", "power"});
+      for (const core::Session& s : schedule.sessions) {
+        csv.row_of(s.module_id, sys.soc().module(s.module_id).name,
+                   sys.endpoints()[static_cast<std::size_t>(s.source_resource)].name(),
+                   sys.endpoints()[static_cast<std::size_t>(s.sink_resource)].name(),
+                   s.start, s.end, cat(s.power));
+      }
+    }
+    if (opt.format == "json" || all) {
+      std::cout << report::schedule_json(sys, schedule);
+    }
+    if (opt.format != "table" && opt.format != "gantt" && opt.format != "csv" &&
+        opt.format != "json" && !all) {
+      fail("unknown --format '", opt.format, "'");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "nocsched_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
