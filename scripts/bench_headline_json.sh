@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs bench_headline and re-emits its claim table as JSON, one object
+# per paper claim.  Used to record BENCH_headline.json data points
+# (locally and from CI).  Usage:
+#   bench_headline_json.sh <path-to-bench_headline> [git-rev]
+set -eu
+
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev]}
+rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
+
+"$bin" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v rev="$rev" '
+  /^C[0-9]+ / {
+    paper = $6; measured = $7; procs = $9
+    sub(/%$/, "", paper); sub(/%$/, "", measured); sub(/\)$/, "", procs)
+    power = ($3 == "no") ? "none" : $3
+    claims[++n] = sprintf(\
+      "    {\"id\": \"%s\", \"soc\": \"%s\", \"power_limit\": \"%s\", " \
+      "\"paper_pct\": %s, \"measured_pct\": %s, \"at\": \"%s\"}",
+      $1, $2, power, paper, measured, procs)
+  }
+  END {
+    if (n == 0) { print "bench_headline_json.sh: no claim rows parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"bench\": \"headline\",\n  \"date\": \"%s\",\n  \"rev\": \"%s\",\n", date, rev
+    printf "  \"claims\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", claims[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+  }'

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Smoke test for nocsched_cli: every --format on the paper's smallest
+# system, plus the error paths.  Registered with ctest; usage:
+#   smoke_test.sh <path-to-nocsched_cli>
+set -u
+
+cli=${1:?usage: smoke_test.sh <path-to-nocsched_cli>}
+fails=0
+
+check() {
+  desc=$1
+  shift
+  if "$@" >/dev/null 2>&1; then
+    echo "ok: $desc"
+  else
+    echo "FAIL: $desc (command: $*)" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+# Exit 0 and non-empty stdout for every output format.
+for fmt in table gantt csv json all; do
+  out=$("$cli" --soc d695 --procs 4 --format "$fmt" 2>/dev/null)
+  rc=$?
+  if [ "$rc" -eq 0 ] && [ -n "$out" ]; then
+    echo "ok: --format $fmt"
+  else
+    echo "FAIL: --format $fmt produced rc=$rc / empty output" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# The JSON format must carry the fields downstream tooling keys on.
+json=$("$cli" --soc d695 --procs 4 --format json 2>/dev/null)
+case $json in
+  *'"makespan"'*'"sessions"'*) echo "ok: json has makespan + sessions" ;;
+  *) echo "FAIL: json output missing makespan/sessions" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# Other front-end knobs reachable from the same system.
+check "--cpu plasma"        "$cli" --soc d695 --cpu plasma --procs 4 --format table
+check "--power 50"          "$cli" --soc d695 --procs 4 --power 50 --format table
+check "--policy shortest"   "$cli" --soc d695 --procs 4 --policy shortest --format table
+check "--restarts 3"        "$cli" --soc d695 --procs 4 --restarts 3 --format table
+
+# Error paths: bad values must fail loudly, not succeed quietly.
+for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1"; do
+  # shellcheck disable=SC2086  # intentional word splitting of $bad
+  if "$cli" --procs 2 $bad >/dev/null 2>&1; then
+    echo "FAIL: '$bad' exited 0" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: '$bad' rejected"
+  fi
+done
+
+# A bad flag's diagnostic must name the problem on stderr.
+err=$("$cli" --soc d695 --format bogus 2>&1 >/dev/null)
+case $err in
+  *bogus*) echo "ok: bad --format diagnostic names the value" ;;
+  *) echo "FAIL: diagnostic does not mention the bad value: $err" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+exit $((fails > 0))

@@ -55,16 +55,16 @@ TEST(ParseU64, ParsesPlainIntegers) {
 }
 
 TEST(ParseU64, RejectsJunk) {
-  EXPECT_THROW(parse_u64("", "f"), Error);
-  EXPECT_THROW(parse_u64("12x", "f"), Error);
-  EXPECT_THROW(parse_u64("-3", "f"), Error);
-  EXPECT_THROW(parse_u64("1.5", "f"), Error);
-  EXPECT_THROW(parse_u64("18446744073709551616", "f"), Error);  // overflow
+  EXPECT_THROW((void)parse_u64("", "f"), Error);
+  EXPECT_THROW((void)parse_u64("12x", "f"), Error);
+  EXPECT_THROW((void)parse_u64("-3", "f"), Error);
+  EXPECT_THROW((void)parse_u64("1.5", "f"), Error);
+  EXPECT_THROW((void)parse_u64("18446744073709551616", "f"), Error);  // overflow
 }
 
 TEST(ParseU64, ErrorNamesField) {
   try {
-    parse_u64("oops", "Patterns");
+    (void)parse_u64("oops", "Patterns");
     FAIL();
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("Patterns"), std::string::npos);
@@ -79,9 +79,9 @@ TEST(ParseDouble, ParsesNumbers) {
 }
 
 TEST(ParseDouble, RejectsJunk) {
-  EXPECT_THROW(parse_double("", "f"), Error);
-  EXPECT_THROW(parse_double("1.2.3", "f"), Error);
-  EXPECT_THROW(parse_double("abc", "f"), Error);
+  EXPECT_THROW((void)parse_double("", "f"), Error);
+  EXPECT_THROW((void)parse_double("1.2.3", "f"), Error);
+  EXPECT_THROW((void)parse_double("abc", "f"), Error);
 }
 
 TEST(ToLower, LowersAscii) {

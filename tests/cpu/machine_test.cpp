@@ -26,15 +26,15 @@ TEST(Memory, ByteStores) {
 
 TEST(Memory, MisalignedWordAccessThrows) {
   Memory mem(64);
-  EXPECT_THROW(mem.load_word(2), Error);
+  EXPECT_THROW((void)mem.load_word(2), Error);
   EXPECT_THROW(mem.store_word(1, 0), Error);
 }
 
 TEST(Memory, OutOfRangeThrows) {
   Memory mem(64);
-  EXPECT_THROW(mem.load_word(64), Error);
+  EXPECT_THROW((void)mem.load_word(64), Error);
   EXPECT_THROW(mem.store_word(64, 0), Error);
-  EXPECT_THROW(mem.load_byte(100), Error);
+  EXPECT_THROW((void)mem.load_byte(100), Error);
 }
 
 TEST(Memory, RejectsBadSizes) {
@@ -75,7 +75,7 @@ TEST(Memory, StatusRegistersAlwaysReady) {
 TEST(Memory, IoWithoutDeviceThrowsOnDataAccess) {
   Memory mem(64);
   EXPECT_THROW(mem.store_word(Memory::kTx, 1), Error);
-  EXPECT_THROW(mem.load_word(Memory::kRx), Error);
+  EXPECT_THROW((void)mem.load_word(Memory::kRx), Error);
   EXPECT_NO_THROW(mem.store_word(Memory::kHalt, 1));  // halt needs no device
 }
 

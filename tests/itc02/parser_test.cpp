@@ -77,7 +77,7 @@ TEST(Parser, CommentsAndBlankLinesIgnoredAnywhere) {
 
 TEST(Parser, ErrorsCarryLineNumbers) {
   try {
-    parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
+    (void)parse("SocName s\nModule 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1\n"
           "ScanChains nope\n");
     FAIL();
   } catch (const Error& e) {
@@ -146,7 +146,7 @@ TEST(Parser, ResultIsValidated) {
 
 TEST(LoadFile, MissingFileThrowsWithPath) {
   try {
-    load_file("/nonexistent/path.soc");
+    (void)load_file("/nonexistent/path.soc");
     FAIL();
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("/nonexistent/path.soc"), std::string::npos);

@@ -56,8 +56,8 @@ TEST(Soc, ModuleLookup) {
   soc.name = "s";
   soc.modules = {simple_module(1), simple_module(2)};
   EXPECT_EQ(soc.module(2).id, 2);
-  EXPECT_THROW(soc.module(3), Error);
-  EXPECT_THROW(soc.module(0), Error);
+  EXPECT_THROW((void)soc.module(3), Error);
+  EXPECT_THROW((void)soc.module(0), Error);
 }
 
 TEST(Soc, TotalTestPower) {

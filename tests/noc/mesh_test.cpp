@@ -42,11 +42,11 @@ TEST(Mesh, RouterAtRoundTripsCoordOf) {
 
 TEST(Mesh, RouterAtRejectsOutOfRange) {
   const Mesh m(3, 3);
-  EXPECT_THROW(m.router_at(-1, 0), Error);
-  EXPECT_THROW(m.router_at(3, 0), Error);
-  EXPECT_THROW(m.router_at(0, 3), Error);
-  EXPECT_THROW(m.coord_of(-1), Error);
-  EXPECT_THROW(m.coord_of(9), Error);
+  EXPECT_THROW((void)m.router_at(-1, 0), Error);
+  EXPECT_THROW((void)m.router_at(3, 0), Error);
+  EXPECT_THROW((void)m.router_at(0, 3), Error);
+  EXPECT_THROW((void)m.coord_of(-1), Error);
+  EXPECT_THROW((void)m.coord_of(9), Error);
 }
 
 TEST(Mesh, ChannelsConnectNeighboursBothWays) {
@@ -64,9 +64,9 @@ TEST(Mesh, ChannelsConnectNeighboursBothWays) {
 
 TEST(Mesh, NonNeighboursHaveNoChannel) {
   const Mesh m(4, 4);
-  EXPECT_THROW(m.channel_between(m.router_at(0, 0), m.router_at(2, 0)), Error);
-  EXPECT_THROW(m.channel_between(m.router_at(0, 0), m.router_at(1, 1)), Error);
-  EXPECT_THROW(m.channel_between(m.router_at(0, 0), m.router_at(0, 0)), Error);
+  EXPECT_THROW((void)m.channel_between(m.router_at(0, 0), m.router_at(2, 0)), Error);
+  EXPECT_THROW((void)m.channel_between(m.router_at(0, 0), m.router_at(1, 1)), Error);
+  EXPECT_THROW((void)m.channel_between(m.router_at(0, 0), m.router_at(0, 0)), Error);
 }
 
 TEST(Mesh, ChannelIdsAreDenseAndUnique) {
@@ -100,8 +100,8 @@ TEST(Mesh, HopCountIsManhattan) {
 
 TEST(Mesh, BadChannelIdsThrow) {
   const Mesh m(2, 2);
-  EXPECT_THROW(m.channel_source(-1), Error);
-  EXPECT_THROW(m.channel_target(m.channel_count()), Error);
+  EXPECT_THROW((void)m.channel_source(-1), Error);
+  EXPECT_THROW((void)m.channel_target(m.channel_count()), Error);
 }
 
 }  // namespace

@@ -105,8 +105,8 @@ TEST(ChannelReservations, ClearFreesEverything) {
 TEST(ChannelReservations, BadChannelIdThrows) {
   const Mesh m(2, 2);
   const ChannelReservations res(m);
-  EXPECT_THROW(res.channel(-1), Error);
-  EXPECT_THROW(res.channel(1000), Error);
+  EXPECT_THROW((void)res.channel(-1), Error);
+  EXPECT_THROW((void)res.channel(1000), Error);
 }
 
 }  // namespace

@@ -32,9 +32,9 @@ TEST(PowerBudget, FractionCanExceedOne) {
 
 TEST(PowerBudget, RejectsBadFractions) {
   const itc02::Soc soc = itc02::builtin_d695();
-  EXPECT_THROW(PowerBudget::fraction_of_total(soc, 0.0), Error);
-  EXPECT_THROW(PowerBudget::fraction_of_total(soc, -0.5), Error);
-  EXPECT_THROW(PowerBudget::fraction_of_total(soc, std::nan("")), Error);
+  EXPECT_THROW((void)PowerBudget::fraction_of_total(soc, 0.0), Error);
+  EXPECT_THROW((void)PowerBudget::fraction_of_total(soc, -0.5), Error);
+  EXPECT_THROW((void)PowerBudget::fraction_of_total(soc, std::nan("")), Error);
 }
 
 TEST(PowerBudget, IncludesProcessorCorePower) {

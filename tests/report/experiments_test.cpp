@@ -32,16 +32,20 @@ TEST(ReuseSweep, TimeAtAndReductionAt) {
   EXPECT_DOUBLE_EQ(sweep.reduction_at(2, std::nullopt),
                    1.0 - static_cast<double>(with) / static_cast<double>(base));
   EXPECT_DOUBLE_EQ(sweep.reduction_at(0, std::nullopt), 0.0);
-  EXPECT_THROW(sweep.time_at(4, std::nullopt), Error);
-  EXPECT_THROW(sweep.time_at(0, 0.9), Error);
+  EXPECT_THROW((void)sweep.time_at(4, std::nullopt), Error);
+  EXPECT_THROW((void)sweep.time_at(0, 0.9), Error);
 }
 
 TEST(ReuseSweep, BaselineIgnoresProcessorReuse) {
   const ReuseSweep sweep = small_sweep();
   // 0-processor schedules: 10 sessions (the d695 cores).
   for (const SweepPoint& p : sweep.points) {
-    if (p.processors == 0) EXPECT_EQ(p.sessions, 10u);
-    if (p.processors == 2) EXPECT_EQ(p.sessions, 12u);
+    if (p.processors == 0) {
+      EXPECT_EQ(p.sessions, 10u);
+    }
+    if (p.processors == 2) {
+      EXPECT_EQ(p.sessions, 12u);
+    }
   }
 }
 

@@ -10,6 +10,12 @@
 #include "itc02/parser.hpp"
 #include "itc02/writer.hpp"
 
+// The build injects the absolute <repo>/data path; a standalone compile
+// (g++ tools/gen_benchmarks.cpp ...) falls back to the relative dir.
+#ifndef NOCSCHED_DATA_DIR
+#define NOCSCHED_DATA_DIR "data"
+#endif
+
 int main(int argc, char** argv) {
   const std::string dir = argc > 1 ? argv[1] : NOCSCHED_DATA_DIR;
   try {
