@@ -1,14 +1,20 @@
 #!/bin/sh
 # Runs bench_headline and re-emits its claim table as JSON, one object
-# per paper claim.  Used to record BENCH_headline.json data points
-# (locally and from CI).  Usage:
-#   bench_headline_json.sh <path-to-bench_headline> [git-rev]
+# per paper claim; optionally appends bench_des_replay's throughput
+# rows as a "des_replay" array so the simulator's own speed is tracked
+# alongside the paper claims.  Used to record BENCH_headline.json data
+# points (locally and from CI).  Usage:
+#   bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay]
 set -eu
 
-bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev]}
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay]}
 rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
+des_bin=${3:-}
 
-"$bin" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v rev="$rev" '
+headline_out=$(mktemp)
+trap 'rm -f "$headline_out"' EXIT
+"$bin" > "$headline_out"
+claims_json=$(awk '
   /^C[0-9]+ / {
     paper = $6; measured = $7; procs = $9
     sub(/%$/, "", paper); sub(/%$/, "", measured); sub(/\)$/, "", procs)
@@ -20,8 +26,33 @@ rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
   }
   END {
     if (n == 0) { print "bench_headline_json.sh: no claim rows parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n  \"bench\": \"headline\",\n  \"date\": \"%s\",\n  \"rev\": \"%s\",\n", date, rev
-    printf "  \"claims\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", claims[i], (i < n ? "," : "")
-    printf "  ]\n}\n"
-  }'
+  }' "$headline_out")
+
+des_json=""
+if [ -n "$des_bin" ]; then
+  # Run the bench to a file first so its exit status is not swallowed
+  # by the pipeline (a failing bench must not emit a data point).
+  des_out=$(mktemp)
+  trap 'rm -f "$headline_out" "$des_out"' EXIT
+  "$des_bin" > "$des_out"
+  des_json=$(awk '
+    /^DESR / {
+      rows[++n] = sprintf(\
+        "    {\"soc\": \"%s\", \"cpu\": \"%s\", \"events\": %s, \"packets\": %s, " \
+        "\"sim_cycles\": %s, \"wall_ms\": %s, \"events_per_sec\": %s}",
+        $2, $3, $5, $6, $7, $8, $9)
+    }
+    END {
+      if (n == 0) { print "bench_headline_json.sh: no DESR rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$des_out")
+fi
+
+printf '{\n  "bench": "headline",\n  "date": "%s",\n  "rev": "%s",\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rev"
+printf '  "claims": [\n%s\n  ]' "$claims_json"
+if [ -n "$des_json" ]; then
+  printf ',\n  "des_replay": [\n%s\n  ]' "$des_json"
+fi
+printf '\n}\n'

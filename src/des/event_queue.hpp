@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic discrete-event queue.
+//
+// A min-heap keyed on (time, insertion sequence): events fire in time
+// order, and events scheduled for the same instant fire in the order
+// they were pushed.  The sequence tie-break is what makes the replay
+// simulator reproducible — two runs over identical inputs execute the
+// exact same handler order, so traces are byte-identical.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nocsched::des {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    std::uint64_t time = 0;
+    std::uint64_t seq = 0;  ///< global push order; breaks time ties FIFO
+    Payload payload{};
+  };
+
+  /// Schedule `payload` at `time` (may equal the current front's time;
+  /// may not be used to travel into the past — callers pop
+  /// monotonically, so pushing below the last popped time is a bug).
+  void push(std::uint64_t time, Payload payload) {
+    NOCSCHED_ASSERT(time >= last_popped_);
+    heap_.push(Event{time, next_seq_++, payload});
+  }
+
+  /// Remove and return the earliest event (FIFO among equal times).
+  [[nodiscard]] Event pop() {
+    NOCSCHED_ASSERT(!heap_.empty());
+    Event e = heap_.top();
+    heap_.pop();
+    last_popped_ = e.time;
+    return e;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Total events ever pushed (the replay's event count statistic).
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct After {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_popped_ = 0;
+};
+
+}  // namespace nocsched::des

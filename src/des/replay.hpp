@@ -1,0 +1,54 @@
+#pragma once
+// Discrete-event flit-level replay of a planned test schedule.
+//
+// The planner prices each session analytically (core/session_model);
+// this simulator re-executes the whole plan at packet granularity on
+// the mesh and reports what actually happens:
+//
+//   * every session launches at its planned start — or as soon after as
+//     its interfaces are free, its serving processor has finished its
+//     own test, and the live power draw leaves room under the budget
+//     (runtime admission control, like the test controller would do);
+//   * each test pattern becomes a stimulus packet (worm) from the
+//     source to the core and a response packet from the core to the
+//     sink, sized by the wrapper/NoC characterization (flits_for_bits);
+//   * packets traverse their XY route wormhole-style: the head pays the
+//     routing latency per hop, body flits stream at the flow-control
+//     rate, a blocked head stalls in place holding its acquired
+//     channels, and releases back-propagate tail-accurately;
+//   * every directed channel carries one worm at a time (FIFO grant
+//     order), so link-level contention between concurrent sessions —
+//     which the planner only approximates as fluid bandwidth — shows up
+//     as real blocking;
+//   * sources, cores and sinks are single servers with the
+//     characterized per-pattern service times (leon/plasma rates, ATE
+//     at line rate, wrapper scan shift), and a processor playing both
+//     roles serializes its generate and check jobs on one core;
+//   * each session follows the protocol the analytical model prices:
+//     one-time circuit setup of both XY paths, then the BIST prologue,
+//     then the pipelined pattern loop (a response leaves the wrapper
+//     scan_out_length cycles after its shift, overlapping the next
+//     shift-in), and finally a wrapper drain of the non-overlapped
+//     min(si, so) scan-out remainders before the interfaces release.
+//
+// The replay is exactly deterministic: integer event times with FIFO
+// tie-breaking (see EventQueue), so identical inputs give byte-identical
+// traces.  Model simplifications are conservative where it matters —
+// observed timing never undercuts the analytical plan (asserted by the
+// test suite; sim::cross_check reports the deltas).
+//
+// The schedule must be valid (sim::validate) — the replay recomputes
+// routes and phase costs from the SystemModel and throws
+// nocsched::Error on structurally broken input (bad resource indices,
+// unknown modules, or a plan whose dependencies can never be met).
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+#include "des/trace.hpp"
+
+namespace nocsched::des {
+
+/// Replay `schedule` on `sys` and return the observed trace.
+[[nodiscard]] SimTrace replay(const core::SystemModel& sys, const core::Schedule& schedule);
+
+}  // namespace nocsched::des

@@ -1,0 +1,29 @@
+#include "des/trace.hpp"
+
+#include "common/error.hpp"
+#include "power/profile.hpp"
+
+namespace nocsched::des {
+
+double ChannelUse::utilization(std::uint64_t makespan) const {
+  if (makespan == 0) return 0.0;
+  return static_cast<double>(busy_cycles) / static_cast<double>(makespan);
+}
+
+const SessionTrace& SimTrace::session_for(int module_id) const {
+  for (const SessionTrace& s : sessions) {
+    if (s.module_id == module_id) return s;
+  }
+  fail("SimTrace: no session for module ", module_id);
+}
+
+double observed_peak_power(const SimTrace& trace) {
+  power::PowerProfile profile;
+  for (const SessionTrace& s : trace.sessions) {
+    if (s.observed_end <= s.observed_start) continue;
+    profile.add({s.observed_start, s.observed_end}, s.power);
+  }
+  return profile.peak();
+}
+
+}  // namespace nocsched::des

@@ -1,0 +1,82 @@
+#pragma once
+// Result of a discrete-event replay: observed per-session timing,
+// per-channel traffic, and peak concurrent power.  The trace is the
+// simulated counterpart of core::Schedule — sim::cross_check compares
+// the two and report/ renders them side by side.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/mesh.hpp"
+
+namespace nocsched::des {
+
+/// Observed execution of one planned session.
+struct SessionTrace {
+  int module_id = 0;
+  int source_resource = -1;  ///< index into SystemModel::endpoints()
+  int sink_resource = -1;
+  std::uint64_t planned_start = 0;
+  std::uint64_t planned_end = 0;
+  std::uint64_t observed_start = 0;  ///< actual launch (>= planned_start)
+  std::uint64_t observed_end = 0;    ///< last response checked/absorbed
+  std::uint64_t patterns = 0;        ///< test patterns replayed
+  std::uint64_t flits_in = 0;        ///< stimulus flits injected
+  std::uint64_t flits_out = 0;       ///< response flits collected
+  std::uint64_t blocked_cycles = 0;  ///< packet-cycles spent waiting on busy channels
+  double power = 0.0;                ///< constant draw while active (from the plan)
+
+  [[nodiscard]] std::uint64_t planned_duration() const { return planned_end - planned_start; }
+  [[nodiscard]] std::uint64_t observed_duration() const {
+    return observed_end - observed_start;
+  }
+  // The deltas are signed: a faithful replay keeps them >= 0, but the
+  // reports must stay readable on exactly the traces that violate that
+  // (the "optimistic model" regressions cross_check exists to catch).
+  /// Cycles the launch slipped past the plan (endpoint or power gating).
+  [[nodiscard]] std::int64_t start_slip() const {
+    return static_cast<std::int64_t>(observed_start) -
+           static_cast<std::int64_t>(planned_start);
+  }
+  /// Cycles the completion slipped past the planned end.
+  [[nodiscard]] std::int64_t finish_slip() const {
+    return static_cast<std::int64_t>(observed_end) - static_cast<std::int64_t>(planned_end);
+  }
+  /// Observed minus planned duration (pipeline fill + contention).
+  [[nodiscard]] std::int64_t stretch_cycles() const {
+    return static_cast<std::int64_t>(observed_duration()) -
+           static_cast<std::int64_t>(planned_duration());
+  }
+};
+
+/// Traffic carried by one directed mesh channel over the whole replay.
+struct ChannelUse {
+  noc::ChannelId channel = -1;
+  std::uint64_t busy_cycles = 0;  ///< cycles held by some packet
+  std::uint64_t packets = 0;      ///< packets (worms) that crossed
+
+  /// Fraction of the makespan the channel was held (0 for makespan 0).
+  [[nodiscard]] double utilization(std::uint64_t makespan) const;
+};
+
+/// Complete observed record of one replay.
+struct SimTrace {
+  std::vector<SessionTrace> sessions;  ///< sorted by (observed_start, module_id)
+  std::uint64_t planned_makespan = 0;
+  std::uint64_t observed_makespan = 0;
+  double peak_power = 0.0;   ///< max summed draw across concurrent sessions
+  double power_limit = 0.0;  ///< budget the replay honoured (infinity = none)
+  std::vector<ChannelUse> channels;  ///< channels that carried traffic, ascending id
+  std::uint64_t events_processed = 0;
+  std::uint64_t packets_delivered = 0;
+
+  /// Trace of the session testing `module_id`; throws if none exists.
+  [[nodiscard]] const SessionTrace& session_for(int module_id) const;
+};
+
+/// Peak concurrent power recomputed from the observed session intervals
+/// alone (independent of the simulator's own bookkeeping; used by the
+/// property suite to cross-examine the trace).
+[[nodiscard]] double observed_peak_power(const SimTrace& trace);
+
+}  // namespace nocsched::des

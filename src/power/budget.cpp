@@ -14,4 +14,8 @@ PowerBudget PowerBudget::fraction_of_total(const itc02::Soc& soc, double fractio
   return PowerBudget{soc.total_test_power() * fraction};
 }
 
+bool within_budget(double draw, double limit) {
+  return draw <= limit * (1.0 + 1e-9) + 1e-9;
+}
+
 }  // namespace nocsched::power

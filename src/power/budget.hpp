@@ -28,4 +28,12 @@ struct PowerBudget {
   }
 };
 
+/// True if `draw` fits under `limit` within the shared floating-point
+/// tolerance.  The replay's launch admission, the validator, and the
+/// cross-check all use this one predicate so "what admission admits"
+/// and "what verification flags" cannot diverge.  (The planner's
+/// windowed check lives in PowerProfile::fits with its own equivalent
+/// slack — tune both together.)
+[[nodiscard]] bool within_budget(double draw, double limit);
+
 }  // namespace nocsched::power

@@ -1,41 +1,13 @@
 #include "report/schedule_json.hpp"
 
 #include <cmath>
-#include <iomanip>
 #include <sstream>
+
+#include "report/json_util.hpp"
 
 namespace nocsched::report {
 
 namespace {
-
-// Minimal JSON string escaping (module names are benign, but be safe).
-std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_number(double v) {
-  std::ostringstream os;
-  os << std::setprecision(15) << v;
-  return os.str();
-}
 
 const char* kind_name(core::EndpointKind kind) {
   switch (kind) {

@@ -1,0 +1,51 @@
+#pragma once
+// Renderings of a replay trace and its cross-check: human table,
+// CSV rows, and a stable JSON object for downstream tooling.  All three
+// show plan-vs-observed side by side — the whole point of the replay is
+// the delta.
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+#include "des/trace.hpp"
+#include "sim/cross_check.hpp"
+
+namespace nocsched::report {
+
+/// Session table (planned vs observed windows, slips, blocking), busiest
+/// channels, and the cross-check verdict.
+[[nodiscard]] std::string trace_table(const core::SystemModel& sys, const des::SimTrace& trace,
+                                      const sim::CrossCheckReport& check);
+
+/// One CSV row per session:
+/// module,name,source,sink,planned_start,planned_end,observed_start,
+/// observed_end,start_slip,finish_slip,stretch,blocked
+[[nodiscard]] std::string trace_csv(const core::SystemModel& sys, const des::SimTrace& trace);
+
+/// JSON object:
+/// {
+///   "soc": "...", "planned_makespan": N, "observed_makespan": N,
+///   "makespan_slip": N, "peak_power": X, "power_limit": X|null,
+///   "events": N, "packets": N,
+///   "sessions": [{"module":id,"name":"...","source":i,"sink":j,
+///                 "planned_start":a,"planned_end":b,
+///                 "observed_start":c,"observed_end":d,
+///                 "start_slip":n,"finish_slip":n,"stretch":n,
+///                 "patterns":n,"flits_in":n,"flits_out":n,"blocked":n}, ...],
+///   "channels": [{"channel":c,"from":r,"to":r,"busy_cycles":n,
+///                 "packets":n,"utilization":x}, ...],
+///   "cross_check": {"ok": true|false, "mismatches": ["..."]}
+/// }
+/// Sessions appear in observed start order.  Output ends with a newline
+/// and is byte-stable for identical inputs (the determinism tests diff
+/// it directly).
+[[nodiscard]] std::string trace_json(const core::SystemModel& sys, const des::SimTrace& trace,
+                                     const sim::CrossCheckReport& check);
+
+/// The trace re-expressed as a Schedule with observed timing, so the
+/// existing Gantt/utilization renderers can draw simulated execution.
+[[nodiscard]] core::Schedule observed_schedule(const core::Schedule& plan,
+                                               const des::SimTrace& trace);
+
+}  // namespace nocsched::report

@@ -1,0 +1,65 @@
+#pragma once
+// Analytical plan vs. simulated execution.
+//
+// The planner prices sessions with the closed-form cost model; the
+// des:: replay executes the same plan packet by packet.  This module
+// lines the two up and answers, per session and for the whole plan:
+// where do they diverge, by how much, and is the divergence of the
+// benign kind (pipeline fill, per-packet routing, admission waits — the
+// simulator is deliberately conservative) or a real inconsistency (the
+// model was *optimistic*, a session vanished, power or channel
+// invariants broke in observed time)?
+//
+// Hard inconsistencies and tolerance overruns land in `mismatches`
+// (report.ok() == false); benign divergence is quantified in `deltas`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+#include "des/trace.hpp"
+
+namespace nocsched::sim {
+
+/// Per-session divergence between plan and replay (all values >= 0 in a
+/// consistent run — the replay never undercuts the plan; signed so a
+/// broken trace still reports readable deltas).
+struct SessionDelta {
+  int module_id = 0;
+  std::int64_t start_slip = 0;       ///< launch delay vs. plan (admission gating)
+  std::int64_t finish_slip = 0;      ///< completion delay vs. plan
+  std::int64_t stretch_cycles = 0;   ///< observed minus planned duration
+  double stretch_ratio = 0.0;        ///< stretch_cycles / planned duration
+  std::uint64_t blocked_cycles = 0;  ///< packet wait on busy channels
+};
+
+struct CrossCheckOptions {
+  /// Max tolerated per-session duration stretch as a fraction of the
+  /// planned duration, on top of `slack_cycles` (covers pipeline fill
+  /// and per-packet routing the analytical model folds into one-time
+  /// setup terms).
+  double max_stretch = 0.25;
+  std::uint64_t slack_cycles = 4096;
+};
+
+struct CrossCheckReport {
+  /// One per planned session found in the trace, plan order (sessions
+  /// missing from the trace are reported as mismatches instead).
+  std::vector<SessionDelta> deltas;
+  std::uint64_t planned_makespan = 0;
+  std::uint64_t observed_makespan = 0;
+  double makespan_ratio = 0.0;  ///< observed / planned (0 for empty plans)
+  std::vector<std::string> mismatches;
+
+  [[nodiscard]] bool ok() const { return mismatches.empty(); }
+};
+
+/// Compare `trace` (a replay of `plan` on `sys`) against the plan.
+[[nodiscard]] CrossCheckReport cross_check(const core::SystemModel& sys,
+                                           const core::Schedule& plan,
+                                           const des::SimTrace& trace,
+                                           const CrossCheckOptions& options = {});
+
+}  // namespace nocsched::sim

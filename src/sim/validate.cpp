@@ -8,6 +8,7 @@
 #include "common/strings.hpp"
 #include "core/session_model.hpp"
 #include "noc/routing.hpp"
+#include "power/budget.hpp"
 #include "power/profile.hpp"
 
 namespace nocsched::sim {
@@ -24,6 +25,22 @@ bool module_exists(const itc02::Soc& soc, int id) {
 }
 
 }  // namespace
+
+std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy, int source,
+                                        int sink, const Interval& iv) {
+  std::vector<int> conflicts;
+  const int resources[] = {source, sink};
+  const int roles = source == sink ? 1 : 2;
+  for (int i = 0; i < roles; ++i) {
+    IntervalSet& set = busy[resources[i]];
+    if (set.conflicts(iv)) {
+      conflicts.push_back(resources[i]);
+    } else {
+      set.insert(iv);
+    }
+  }
+  return conflicts;
+}
 
 ValidationReport validate(const core::SystemModel& sys, const core::Schedule& schedule) {
   ValidationReport report;
@@ -99,16 +116,11 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
     }
     if (s.end <= s.start) continue;  // already reported as an empty session
     const Interval iv{s.start, s.end};
-    for (int r : {s.source_resource, s.sink_resource}) {
-      if (r == s.sink_resource && s.sink_resource == s.source_resource) continue;
-      IntervalSet& busy = resource_busy[r];
-      if (busy.conflicts(iv)) {
-        violation("resource ", endpoints[static_cast<std::size_t>(r)].name(),
-                  " double-booked around [", s.start, ", ", s.end, ") by module ",
-                  s.module_id);
-      } else {
-        busy.insert(iv);
-      }
+    for (int r : book_session_resources(resource_busy, s.source_resource, s.sink_resource,
+                                        iv)) {
+      violation("resource ", endpoints[static_cast<std::size_t>(r)].name(),
+                " double-booked around [", s.start, ", ", s.end, ") by module ",
+                s.module_id);
     }
   }
 
@@ -186,7 +198,7 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
     }
   }
   const double peak = profile.peak();
-  if (peak > schedule.power_limit * (1.0 + 1e-9) + 1e-9) {
+  if (!power::within_budget(peak, schedule.power_limit)) {
     violation("peak power ", peak, " exceeds budget ", schedule.power_limit);
   }
   if (!schedule.sessions.empty() && !near(peak, schedule.peak_power)) {

@@ -20,9 +20,11 @@
 // (reservation tables, power profile), so planner bookkeeping bugs
 // cannot hide themselves.
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/interval_set.hpp"
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
 
@@ -32,6 +34,16 @@ struct ValidationReport {
   std::vector<std::string> violations;
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
+
+/// Book `iv` on a session's source and sink resources in `busy` — a
+/// processor playing both roles books exactly once.  Returns the
+/// resources that already held a conflicting interval (empty = clean);
+/// conflict-free resources are booked even when the other one clashes.
+/// Shared by the validator, the replay cross-check, and the property
+/// suites so all of them agree on what double-booking means.
+[[nodiscard]] std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy,
+                                                      int source, int sink,
+                                                      const Interval& iv);
 
 /// Collect all violations (empty report = valid plan).
 [[nodiscard]] ValidationReport validate(const core::SystemModel& sys,

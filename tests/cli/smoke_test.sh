@@ -38,11 +38,43 @@ case $json in
      fails=$((fails + 1)) ;;
 esac
 
+# Every output format again, replayed through the flit-level simulator.
+for fmt in table gantt csv json all; do
+  out=$("$cli" --soc d695 --procs 4 --simulate --format "$fmt" 2>/dev/null)
+  rc=$?
+  if [ "$rc" -eq 0 ] && [ -n "$out" ]; then
+    echo "ok: --simulate --format $fmt"
+  else
+    echo "FAIL: --simulate --format $fmt produced rc=$rc / empty output" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# The simulated JSON must carry plan-vs-observed timing and a clean
+# cross-check.
+simjson=$("$cli" --soc d695 --procs 4 --simulate --format json 2>/dev/null)
+case $simjson in
+  *'"planned_makespan"'*'"observed_makespan"'*'"ok": true'*)
+    echo "ok: simulate json has planned/observed makespan + passing cross-check" ;;
+  *) echo "FAIL: simulate json missing observed makespan or cross-check" >&2
+     fails=$((fails + 1)) ;;
+esac
+
 # Other front-end knobs reachable from the same system.
 check "--cpu plasma"        "$cli" --soc d695 --cpu plasma --procs 4 --format table
 check "--power 50"          "$cli" --soc d695 --procs 4 --power 50 --format table
 check "--policy shortest"   "$cli" --soc d695 --procs 4 --policy shortest --format table
 check "--restarts 3"        "$cli" --soc d695 --procs 4 --restarts 3 --format table
+
+# --seed makes multistart runs reproducible from the command line.
+seed_a=$("$cli" --soc d695 --procs 4 --restarts 3 --seed 7 --format csv 2>/dev/null)
+seed_b=$("$cli" --soc d695 --procs 4 --restarts 3 --seed 7 --format csv 2>/dev/null)
+if [ -n "$seed_a" ] && [ "$seed_a" = "$seed_b" ]; then
+  echo "ok: --seed reproducible"
+else
+  echo "FAIL: two --restarts 3 --seed 7 runs disagreed" >&2
+  fails=$((fails + 1))
+fi
 
 # Error paths: bad values must fail loudly, not succeed quietly.
 for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1"; do
@@ -60,6 +92,26 @@ err=$("$cli" --soc d695 --format bogus 2>&1 >/dev/null)
 case $err in
   *bogus*) echo "ok: bad --format diagnostic names the value" ;;
   *) echo "FAIL: diagnostic does not mention the bad value: $err" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# An unknown option is rejected by name — even as the last argument,
+# where no value follows it.
+err=$("$cli" --soc d695 --definitely-bogus 2>&1 >/dev/null)
+rc=$?
+case "$rc:$err" in
+  0:*) echo "FAIL: unknown option --definitely-bogus exited 0" >&2
+       fails=$((fails + 1)) ;;
+  *definitely-bogus*) echo "ok: unknown option rejected by name" ;;
+  *) echo "FAIL: diagnostic does not name the unknown option: $err" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# A known option with its value missing names the option.
+err=$("$cli" --soc 2>&1 >/dev/null)
+case $err in
+  *'--soc expects a value'*) echo "ok: missing value diagnostic names the option" ;;
+  *) echo "FAIL: missing-value diagnostic unclear: $err" >&2
      fails=$((fails + 1)) ;;
 esac
 

@@ -1,0 +1,151 @@
+#include "sim/cross_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "des/replay.hpp"
+
+namespace nocsched::sim {
+namespace {
+
+using core::PlannerParams;
+using core::Schedule;
+using core::SystemModel;
+
+struct Fixture {
+  Fixture()
+      : sys(SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 4,
+                                      PlannerParams::paper())),
+        schedule(core::plan_tests(sys, power::PowerBudget::unconstrained())),
+        trace(des::replay(sys, schedule)) {}
+  SystemModel sys;
+  Schedule schedule;
+  des::SimTrace trace;
+};
+
+bool has_mismatch(const CrossCheckReport& report, std::string_view needle) {
+  for (const std::string& m : report.mismatches) {
+    if (m.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(CrossCheck, AcceptsFaithfulReplay) {
+  Fixture f;
+  const CrossCheckReport report = cross_check(f.sys, f.schedule, f.trace);
+  EXPECT_TRUE(report.ok()) << (report.mismatches.empty() ? "" : report.mismatches[0]);
+  EXPECT_EQ(report.deltas.size(), f.schedule.sessions.size());
+  EXPECT_GE(report.makespan_ratio, 1.0);
+  for (const SessionDelta& d : report.deltas) {
+    EXPECT_GE(d.stretch_ratio, 0.0);
+  }
+}
+
+TEST(CrossCheck, DetectsMissingSession) {
+  Fixture f;
+  f.trace.sessions.pop_back();
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "missing from the trace"));
+}
+
+TEST(CrossCheck, DetectsDuplicateTraceSession) {
+  Fixture f;
+  f.trace.sessions.push_back(f.trace.sessions.front());
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "duplicate sessions"));
+}
+
+TEST(CrossCheck, DetectsUnplannedSession) {
+  Fixture f;
+  des::SessionTrace ghost = f.trace.sessions.front();
+  ghost.module_id = 999;
+  f.trace.sessions.push_back(ghost);
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "never scheduled"));
+}
+
+TEST(CrossCheck, DetectsEarlyLaunch) {
+  Fixture f;
+  for (des::SessionTrace& t : f.trace.sessions) {
+    if (t.planned_start > 0) {
+      t.observed_start = t.planned_start - 1;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "before its planned start"));
+}
+
+TEST(CrossCheck, DetectsOptimisticModel) {
+  Fixture f;
+  f.trace.sessions.front().observed_end = f.trace.sessions.front().planned_end - 1;
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "optimistic"));
+}
+
+TEST(CrossCheck, DetectsExcessiveStretch) {
+  Fixture f;
+  des::SessionTrace& t = f.trace.sessions.back();
+  t.observed_end += 2 * t.planned_duration() + 10000;
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "stretched"));
+}
+
+TEST(CrossCheck, DetectsMakespanBelowPlan) {
+  Fixture f;
+  f.trace.observed_makespan = f.schedule.makespan - 1;
+  // Recorded peak power stays consistent; only the makespan claim breaks.
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "below planned"));
+}
+
+TEST(CrossCheck, DetectsPowerBudgetViolation) {
+  Fixture f;
+  f.schedule.power_limit = 1.0;
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "exceeds the budget"));
+}
+
+TEST(CrossCheck, DetectsPeakPowerTampering) {
+  Fixture f;
+  f.trace.peak_power += 500.0;
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "recomputed"));
+}
+
+TEST(CrossCheck, DetectsImpossibleChannelLoad) {
+  Fixture f;
+  ASSERT_FALSE(f.trace.channels.empty());
+  f.trace.channels.front().busy_cycles = f.trace.observed_makespan + 1;
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace), "busy"));
+}
+
+TEST(CrossCheck, DetectsObservedResourceOverlap) {
+  Fixture f;
+  // Two sessions sharing a resource, forced onto the same observed
+  // window.
+  des::SessionTrace* first = nullptr;
+  des::SessionTrace* second = nullptr;
+  for (des::SessionTrace& a : f.trace.sessions) {
+    for (des::SessionTrace& b : f.trace.sessions) {
+      if (&a == &b) continue;
+      if (a.source_resource == b.source_resource && a.observed_end <= b.observed_start) {
+        first = &a;
+        second = &b;
+        break;
+      }
+    }
+    if (first != nullptr) break;
+  }
+  ASSERT_NE(first, nullptr) << "no two sessions share a source resource";
+  second->observed_start = first->observed_start;
+  second->observed_end = first->observed_end;
+  EXPECT_TRUE(has_mismatch(cross_check(f.sys, f.schedule, f.trace),
+                           "served overlapping observed sessions"));
+}
+
+TEST(CrossCheck, ToleranceIsConfigurable) {
+  Fixture f;
+  des::SessionTrace& t = f.trace.sessions.back();
+  t.observed_end += t.planned_duration() / 2 + 8192;  // beyond the default tolerance
+  CrossCheckOptions strict;
+  EXPECT_FALSE(cross_check(f.sys, f.schedule, f.trace, strict).ok());
+  CrossCheckOptions lenient;
+  lenient.max_stretch = 10.0;
+  lenient.slack_cycles = 1u << 20;
+  EXPECT_TRUE(cross_check(f.sys, f.schedule, f.trace, lenient).ok());
+}
+
+}  // namespace
+}  // namespace nocsched::sim

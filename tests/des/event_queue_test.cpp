@@ -1,0 +1,63 @@
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace nocsched::des {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(30, 3);
+  q.push(10, 1);
+  q.push(20, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue<char> q;
+  for (char c : {'a', 'b', 'c', 'd'}) q.push(5, c);
+  std::string order;
+  while (!q.empty()) order += q.pop().payload;
+  EXPECT_EQ(order, "abcd");
+}
+
+TEST(EventQueue, FifoHoldsAcrossInterleavedPushes) {
+  EventQueue<int> q;
+  q.push(5, 1);
+  q.push(9, 9);
+  q.push(5, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(5, 3);  // same instant as the current front
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_EQ(q.pop().payload, 9);
+}
+
+TEST(EventQueue, CountsEveryPush) {
+  EventQueue<int> q;
+  for (int i = 0; i < 7; ++i) q.push(static_cast<std::uint64_t>(i), i);
+  while (!q.empty()) (void)q.pop();
+  q.push(100, 0);
+  EXPECT_EQ(q.pushed(), 8u);
+}
+
+TEST(EventQueue, ReportsEventTimeAndSequence) {
+  EventQueue<int> q;
+  q.push(4, 40);
+  q.push(4, 41);
+  const auto first = q.pop();
+  const auto second = q.pop();
+  EXPECT_EQ(first.time, 4u);
+  EXPECT_EQ(second.time, 4u);
+  EXPECT_LT(first.seq, second.seq);
+}
+
+}  // namespace
+}  // namespace nocsched::des

@@ -3,6 +3,7 @@
 //
 //   nocsched_cli --soc d695 --cpu leon --procs 4 --power 50 --format table
 //   nocsched_cli --soc-file my.soc --procs 2 --format json
+//   nocsched_cli --soc d695 --procs 4 --simulate --format json
 //
 // Options:
 //   --soc <name>        built-in system: d695 | p22810 | p93791
@@ -14,14 +15,21 @@
 //   --policy <p>        priority: longest (default) | distance | shortest
 //   --choice <c>        resource choice: greedy (default) | earliest
 //   --restarts <n>      multistart random restarts (default 0 = plain greedy)
+//   --seed <n>          RNG seed for --restarts (default 0x5EED), so
+//                       multistart runs are reproducible
 //   --wrapper <n>       wrapper chains per core (default 4)
 //   --format <f>        table (default) | gantt | csv | json | all
 //   --mesh <CxR>        mesh dimensions for --soc-file systems
+//   --simulate          replay the plan on the flit-level discrete-event
+//                       simulator and report observed vs planned timing
+//                       (exits non-zero if the cross-check finds
+//                       mismatches)
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "common/csv.hpp"
@@ -30,9 +38,12 @@
 #include "core/multistart.hpp"
 #include "core/scheduler.hpp"
 #include "core/system_model.hpp"
+#include "des/replay.hpp"
 #include "itc02/parser.hpp"
 #include "report/schedule_json.hpp"
 #include "report/schedule_text.hpp"
+#include "report/trace_report.hpp"
+#include "sim/cross_check.hpp"
 #include "sim/validate.hpp"
 
 namespace {
@@ -48,29 +59,52 @@ struct Options {
   core::PriorityPolicy policy = core::PriorityPolicy::kLongestTestFirst;
   core::ResourceChoice choice = core::ResourceChoice::kFirstAvailable;
   std::uint64_t restarts = 0;
+  std::uint64_t seed = 0x5EED;
   std::uint32_t wrapper = 4;
   std::string format = "table";
   int mesh_cols = 0;
   int mesh_rows = 0;
+  bool simulate = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--soc d695|p22810|p93791] [--soc-file path] [--cpu leon|plasma]\n"
                "       [--procs N] [--power PCT] [--policy longest|distance|shortest]\n"
-               "       [--choice greedy|earliest] [--restarts N] [--wrapper N]\n"
-               "       [--format table|gantt|csv|json|all] [--mesh CxR]\n";
+               "       [--choice greedy|earliest] [--restarts N] [--seed N] [--wrapper N]\n"
+               "       [--format table|gantt|csv|json|all] [--mesh CxR] [--simulate]\n"
+               "  --seed makes --restarts multistart runs reproducible;\n"
+               "  --simulate replays the plan on the flit-level simulator and\n"
+               "  reports observed vs planned timing.\n";
   std::exit(2);
 }
 
 Options parse_args(int argc, char** argv) {
+  // Keys taking a value, and valueless flags.  Unknown keys are
+  // rejected by name (not a silent usage exit) so typos are diagnosable.
+  static const std::set<std::string> value_keys = {
+      "soc",  "soc-file", "cpu",     "procs", "power", "policy",
+      "choice", "restarts", "seed",  "wrapper", "format", "mesh"};
+  static const std::set<std::string> flag_keys = {"simulate"};
+
   Options opt;
   std::map<std::string, std::string> kv;
   for (int i = 1; i < argc; ++i) {
-    const std::string key = argv[i];
-    if (key == "--help" || key == "-h") usage(argv[0]);
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage(argv[0]);
-    kv[key.substr(2)] = argv[++i];
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(argv[0]);
+    if (arg.rfind("--", 0) != 0) {
+      fail("unexpected argument '", arg, "' (options start with --; see --help)");
+    }
+    const std::string key = arg.substr(2);
+    if (flag_keys.count(key) != 0) {
+      kv[key] = "1";
+      continue;
+    }
+    if (value_keys.count(key) == 0) {
+      fail("unknown option --", key, " (see --help)");
+    }
+    ensure(i + 1 < argc, "option --", key, " expects a value");
+    kv[key] = argv[++i];
   }
   for (const auto& [key, value] : kv) {
     if (key == "soc") {
@@ -109,6 +143,10 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (key == "restarts") {
       opt.restarts = parse_u64(value, "--restarts");
+    } else if (key == "seed") {
+      opt.seed = parse_u64(value, "--seed");
+    } else if (key == "simulate") {
+      opt.simulate = true;
     } else if (key == "wrapper") {
       opt.wrapper = static_cast<std::uint32_t>(parse_u64(value, "--wrapper"));
     } else if (key == "format") {
@@ -119,7 +157,10 @@ Options parse_args(int argc, char** argv) {
       opt.mesh_cols = static_cast<int>(parse_u64(parts[0], "--mesh cols"));
       opt.mesh_rows = static_cast<int>(parse_u64(parts[1], "--mesh rows"));
     } else {
-      fail("unknown option --", key);
+      // Unknown keys were rejected while scanning argv; reaching this
+      // branch means a key was added to value_keys/flag_keys without a
+      // dispatch case above.
+      NOCSCHED_ASSERT(!"option key accepted by the parse loop but not dispatched");
     }
   }
   return opt;
@@ -164,10 +205,16 @@ int main(int argc, char** argv) {
         opt.power_pct ? power::PowerBudget::fraction_of_total(sys.soc(), *opt.power_pct / 100.0)
                       : power::PowerBudget::unconstrained();
 
+    const bool all = opt.format == "all";
+    if (opt.format != "table" && opt.format != "gantt" && opt.format != "csv" &&
+        opt.format != "json" && !all) {
+      fail("unknown --format '", opt.format, "'");
+    }
+
     core::Schedule schedule;
     if (opt.restarts > 0) {
       const core::MultistartResult result =
-          core::plan_tests_multistart(sys, budget, opt.restarts);
+          core::plan_tests_multistart(sys, budget, opt.restarts, opt.seed);
       schedule = result.best;
       std::cerr << "multistart: " << result.restarts << " orders tried, "
                 << result.improvements << " improvements, greedy "
@@ -177,7 +224,30 @@ int main(int argc, char** argv) {
     }
     sim::validate_or_throw(sys, schedule);
 
-    const bool all = opt.format == "all";
+    if (opt.simulate) {
+      const des::SimTrace trace = des::replay(sys, schedule);
+      const sim::CrossCheckReport check = sim::cross_check(sys, schedule, trace);
+      if (opt.format == "table" || all) {
+        std::cout << report::trace_table(sys, trace, check);
+      }
+      if (opt.format == "gantt" || all) {
+        // Observed timing on the familiar per-resource lanes.
+        std::cout << report::gantt(sys, report::observed_schedule(schedule, trace));
+      }
+      if (opt.format == "csv" || all) {
+        std::cout << report::trace_csv(sys, trace);
+      }
+      if (opt.format == "json" || all) {
+        std::cout << report::trace_json(sys, trace, check);
+      }
+      if (!check.ok()) {
+        std::cerr << "cross-check failed:\n";
+        for (const std::string& m : check.mismatches) std::cerr << "  - " << m << "\n";
+        return 1;
+      }
+      return 0;
+    }
+
     if (opt.format == "table" || all) {
       std::cout << report::schedule_table(sys, schedule);
     }
@@ -195,10 +265,6 @@ int main(int argc, char** argv) {
     }
     if (opt.format == "json" || all) {
       std::cout << report::schedule_json(sys, schedule);
-    }
-    if (opt.format != "table" && opt.format != "gantt" && opt.format != "csv" &&
-        opt.format != "json" && !all) {
-      fail("unknown --format '", opt.format, "'");
     }
     return 0;
   } catch (const std::exception& e) {
