@@ -20,8 +20,8 @@ int main() {
       const core::SystemModel sys =
           core::SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, procs, params);
       const core::LowerBounds bounds = core::makespan_lower_bounds(sys);
-      const core::MultistartResult result =
-          core::plan_tests_multistart(sys, power::PowerBudget::unconstrained(), 200);
+      const core::MultistartResult result = core::plan_tests_multistart(
+          sys, power::PowerBudget::unconstrained(), 200, 0x5EED, /*jobs=*/0);
       sim::validate_or_throw(sys, result.best);
       const double gap = 100.0 * (static_cast<double>(result.first_makespan) -
                                   static_cast<double>(result.best.makespan)) /

@@ -1,0 +1,83 @@
+// Planner hot-path throughput: multistart orders planned per second,
+// single- and multi-threaded, on the three paper systems.  The
+// machine-readable "MSP" rows feed the planner_perf section of
+// BENCH_headline.json (via scripts/bench_headline_json.sh) so the
+// planner's speed is tracked across revisions; the bench also asserts
+// that the parallel run reproduces the serial result bit-for-bit.
+//
+//   MSP <soc> <procs> <restarts> <jobs> <wall_ms> <orders_per_sec> <best> <hw_threads>
+//
+// (<hw_threads> is the recording machine's hardware concurrency —
+// multi-job rows only show real scaling when jobs <= hw_threads.)
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "common/parallel.hpp"
+#include "core/multistart.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+using namespace nocsched;
+
+double run_timed(const core::SystemModel& sys, std::uint64_t restarts, unsigned jobs,
+                 core::MultistartResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = core::plan_tests_multistart(sys, power::PowerBudget::unconstrained(), restarts,
+                                    0x5EED, jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  try {
+    const core::PlannerParams params = core::PlannerParams::paper();
+    // At least two threads even on a single-core host, so the parallel
+    // path (and its determinism check) always actually runs.
+    const unsigned hw = std::max(2u, hardware_jobs());
+    constexpr std::uint64_t kRestarts = 256;
+    std::cout << "Planner throughput: " << kRestarts
+              << " multistart orders per system, jobs in {1, " << hw << "}\n\n";
+    bool identical = true;
+    for (const std::string& soc : itc02::builtin_names()) {
+      const int procs = soc == "d695" ? 6 : 8;
+      const core::SystemModel sys =
+          core::SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, procs, params);
+      core::MultistartResult warm;
+      (void)run_timed(sys, 8, 1, warm);  // warm caches before timing
+
+      core::MultistartResult serial;
+      const double serial_ms = run_timed(sys, kRestarts, 1, serial);
+      sim::validate_or_throw(sys, serial.best);
+
+      core::MultistartResult parallel;
+      const double parallel_ms = run_timed(sys, kRestarts, hw, parallel);
+
+      identical = identical && serial.best.makespan == parallel.best.makespan &&
+                  serial.improvements == parallel.improvements &&
+                  serial.best.sessions == parallel.best.sessions;
+
+      for (const auto& [jobs, ms, r] :
+           {std::tuple<unsigned, double, const core::MultistartResult&>{1, serial_ms, serial},
+            {hw, parallel_ms, parallel}}) {
+        std::cout << "MSP " << soc << " " << procs << " " << r.restarts << " " << jobs << " "
+                  << ms << " " << 1000.0 * static_cast<double>(r.restarts) / ms << " "
+                  << r.best.makespan << " " << hardware_jobs() << "\n";
+      }
+    }
+    std::cout << "\n(orders/sec = full planner runs per second; MSP rows are parsed\n"
+                 "into BENCH_headline.json's planner_perf section)\n";
+    if (!identical) {
+      std::cerr << "bench failed: parallel multistart diverged from the serial result\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

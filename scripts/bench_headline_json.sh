@@ -1,15 +1,18 @@
 #!/bin/sh
 # Runs bench_headline and re-emits its claim table as JSON, one object
 # per paper claim; optionally appends bench_des_replay's throughput
-# rows as a "des_replay" array so the simulator's own speed is tracked
-# alongside the paper claims.  Used to record BENCH_headline.json data
-# points (locally and from CI).  Usage:
-#   bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay]
+# rows as a "des_replay" array and bench_multistart_perf's rows as a
+# "planner_perf" array, so the simulator's and the planner's own speed
+# are tracked alongside the paper claims.  Used to record
+# BENCH_headline.json data points (locally and from CI).  Usage:
+#   bench_headline_json.sh <path-to-bench_headline> [git-rev] \
+#     [path-to-bench_des_replay] [path-to-bench_multistart_perf]
 set -eu
 
-bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay]}
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf]}
 rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
 des_bin=${3:-}
+msp_bin=${4:-}
 
 headline_out=$(mktemp)
 trap 'rm -f "$headline_out"' EXIT
@@ -49,10 +52,31 @@ if [ -n "$des_bin" ]; then
     }' "$des_out")
 fi
 
+msp_json=""
+if [ -n "$msp_bin" ]; then
+  msp_out=$(mktemp)
+  trap 'rm -f "$headline_out" "${des_out:-}" "$msp_out"' EXIT
+  "$msp_bin" > "$msp_out"
+  msp_json=$(awk '
+    /^MSP / {
+      rows[++n] = sprintf(\
+        "    {\"soc\": \"%s\", \"procs\": %s, \"orders\": %s, \"jobs\": %s, " \
+        "\"wall_ms\": %s, \"orders_per_sec\": %s, \"best_makespan\": %s, \"hw_threads\": %s}",
+        $2, $3, $4, $5, $6, $7, $8, $9)
+    }
+    END {
+      if (n == 0) { print "bench_headline_json.sh: no MSP rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$msp_out")
+fi
+
 printf '{\n  "bench": "headline",\n  "date": "%s",\n  "rev": "%s",\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rev"
 printf '  "claims": [\n%s\n  ]' "$claims_json"
 if [ -n "$des_json" ]; then
   printf ',\n  "des_replay": [\n%s\n  ]' "$des_json"
+fi
+if [ -n "$msp_json" ]; then
+  printf ',\n  "planner_perf": [\n%s\n  ]' "$msp_json"
 fi
 printf '\n}\n'

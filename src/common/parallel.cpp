@@ -1,0 +1,56 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nocsched {
+
+unsigned hardware_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void parallel_for(std::size_t n, unsigned jobs, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs == 0) jobs = hardware_jobs();
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, n));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned t = 0; t + 1 < workers; ++t) threads.emplace_back(drain);
+    drain();  // the caller is worker 0
+    for (std::thread& th : threads) th.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nocsched

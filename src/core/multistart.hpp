@@ -9,6 +9,11 @@
 // both as a practical knob (a few hundred restarts run in milliseconds)
 // and as an upper-bound probe on how much the single-pass greedy leaves
 // on the table (ablation A10).
+//
+// All restarts share one precomputed PairTable and each restart draws
+// its shuffles from an RNG seeded by (seed, restart index), so restarts
+// are independent and can run on any number of threads with the same
+// result.
 
 #include <cstdint>
 
@@ -17,7 +22,7 @@
 namespace nocsched::core {
 
 struct MultistartResult {
-  Schedule best;                  ///< best plan found
+  Schedule best;                     ///< best plan found
   std::uint64_t first_makespan = 0;  ///< the deterministic greedy's makespan
   std::uint64_t restarts = 0;        ///< orders tried (including the first)
   std::uint64_t improvements = 0;    ///< times the best plan changed
@@ -26,11 +31,14 @@ struct MultistartResult {
 /// Run the planner once with the deterministic priority order, then
 /// `restarts` more times with seeded random tie-shuffles inside each
 /// priority tier; every candidate plan is validated internally before
-/// it can become the best.  Deterministic in (sys, budget, restarts,
-/// seed).
+/// it can become the best.  Restarts are planned on up to `jobs`
+/// threads (0 = one per hardware thread; <= 1 = serial) and reduced by
+/// (makespan, restart index), so the result is deterministic in
+/// (sys, budget, restarts, seed) and bit-identical at every job count.
 [[nodiscard]] MultistartResult plan_tests_multistart(const SystemModel& sys,
                                                      const power::PowerBudget& budget,
                                                      std::uint64_t restarts,
-                                                     std::uint64_t seed = 0x5EED);
+                                                     std::uint64_t seed = 0x5EED,
+                                                     unsigned jobs = 1);
 
 }  // namespace nocsched::core

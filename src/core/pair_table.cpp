@@ -1,0 +1,65 @@
+#include "core/pair_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace nocsched::core {
+
+PairTable::PairTable(const SystemModel& sys) {
+  const std::vector<Endpoint>& eps = sys.endpoints();
+  const bool cross = sys.params().allow_cross_pairing;
+  by_module_.reserve(sys.soc().modules.size());
+  cheapest_.reserve(sys.soc().modules.size());
+  for (const itc02::Module& m : sys.soc().modules) {
+    const noc::RouterId at = sys.router_of(m.id);
+    std::vector<PairChoice> pairs;
+    for (std::size_t s = 0; s < eps.size(); ++s) {
+      const Endpoint& src = eps[s];
+      if (!src.can_source()) continue;
+      if (src.is_processor() && src.processor_module == m.id) continue;
+      if (src.is_processor() && !fits_processor_memory(sys, m.id, src.cpu)) continue;
+      for (std::size_t k = 0; k < eps.size(); ++k) {
+        const Endpoint& snk = eps[k];
+        if (!snk.can_sink()) continue;
+        if (snk.is_processor() && snk.processor_module == m.id) continue;
+        if (snk.is_processor() && !fits_processor_memory(sys, m.id, snk.cpu)) continue;
+        if (s == k && !src.is_processor()) continue;  // only a CPU plays both roles
+        if (!cross && s != k && (src.is_processor() || snk.is_processor())) {
+          continue;  // default: ATE pair or one self-contained processor
+        }
+        PairChoice choice;
+        choice.source = s;
+        choice.sink = k;
+        choice.hops =
+            sys.mesh().hop_count(src.router, at) + sys.mesh().hop_count(at, snk.router);
+        choice.plan = plan_session(sys, m.id, src, snk);
+        pairs.push_back(std::move(choice));
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const PairChoice& a, const PairChoice& b) {
+      if (a.hops != b.hops) return a.hops < b.hops;
+      if (a.source != b.source) return a.source < b.source;
+      return a.sink < b.sink;
+    });
+    double cheapest = std::numeric_limits<double>::infinity();
+    for (const PairChoice& p : pairs) cheapest = std::min(cheapest, p.plan.power);
+    by_module_.push_back(std::move(pairs));
+    cheapest_.push_back(cheapest);
+  }
+}
+
+std::span<const PairChoice> PairTable::pairs(int module_id) const {
+  return by_module_[index_of(module_id)];
+}
+
+double PairTable::cheapest_power(int module_id) const { return cheapest_[index_of(module_id)]; }
+
+std::size_t PairTable::index_of(int module_id) const {
+  ensure(module_id >= 1 && static_cast<std::size_t>(module_id) <= by_module_.size(),
+         "PairTable: unknown module id ", module_id);
+  return static_cast<std::size_t>(module_id - 1);
+}
+
+}  // namespace nocsched::core

@@ -1,0 +1,49 @@
+#pragma once
+// Precomputed (source, sink) interface pairs per module.
+//
+// Pair legality and session cost depend only on the system model —
+// never on planner state or time — yet the planner used to rebuild and
+// re-sort the same candidate list (and re-derive the same SessionPlan)
+// on every probe of every module.  This table enumerates each module's
+// legal pairs once, nearest-first (total hops, then source index, then
+// sink index — exactly the order the planner's per-call enumeration
+// produced), with the session plan attached.  One table serves any
+// number of planner runs over the same system, including concurrent
+// multistart restarts: it is immutable after construction.
+
+#include <span>
+#include <vector>
+
+#include "core/session_model.hpp"
+#include "core/system_model.hpp"
+
+namespace nocsched::core {
+
+/// One legal (source, sink) choice for a module, with its precomputed
+/// session cost.  `source`/`sink` index SystemModel::endpoints().
+struct PairChoice {
+  std::size_t source = 0;
+  std::size_t sink = 0;
+  int hops = 0;      ///< source->core + core->sink Manhattan hops
+  SessionPlan plan;  ///< time-invariant cost of this session
+};
+
+class PairTable {
+ public:
+  explicit PairTable(const SystemModel& sys);
+
+  /// Legal pairs for `module_id`, nearest-first.
+  [[nodiscard]] std::span<const PairChoice> pairs(int module_id) const;
+
+  /// Smallest session power over the module's pairs (infinity when the
+  /// module has no legal pair) — the feasibility-precheck input.
+  [[nodiscard]] double cheapest_power(int module_id) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(int module_id) const;
+
+  std::vector<std::vector<PairChoice>> by_module_;  // module id - 1 (ids are 1..N)
+  std::vector<double> cheapest_;
+};
+
+}  // namespace nocsched::core

@@ -22,6 +22,8 @@ struct Session {
   double bandwidth_out = 0.0;  ///< channel occupancy of the response stream
 
   [[nodiscard]] std::uint64_t duration() const { return end - start; }
+
+  friend bool operator==(const Session&, const Session&) = default;
 };
 
 /// A complete test plan for one system.

@@ -60,19 +60,23 @@ struct ResourceState {
   std::uint64_t available_from = 0;
 };
 
-/// A fully-determined candidate: (core, pair, start, plan).
+/// A fully-determined candidate: (core, pair, start, plan).  The plan
+/// points into the planner's PairTable, which outlives every candidate,
+/// so probing allocates nothing.
 struct Candidate {
   std::size_t source = 0;
   std::size_t sink = 0;
   std::uint64_t start = 0;
-  SessionPlan plan;
+  const SessionPlan* plan = nullptr;
 };
 
 class Planner {
  public:
-  Planner(const SystemModel& sys, const power::PowerBudget& budget, std::vector<int> order)
+  Planner(const SystemModel& sys, const power::PowerBudget& budget, std::vector<int> order,
+          const PairTable& table)
       : sys_(sys),
         budget_(budget),
+        table_(table),
         reservations_(sys.mesh()),
         channel_load_(sys.mesh().channel_count()),
         order_(std::move(order)) {
@@ -85,11 +89,7 @@ class Planner {
     // Feasibility precheck: every core must have at least one pair whose
     // session power fits the budget in isolation.
     for (const itc02::Module& m : sys_.soc().modules) {
-      double cheapest = std::numeric_limits<double>::infinity();
-      for_each_pair(m.id, [&](std::size_t s, std::size_t k) {
-        cheapest = std::min(cheapest,
-                            plan_session(sys_, m.id, resources_[s].ep, resources_[k].ep).power);
-      });
+      const double cheapest = table_.cheapest_power(m.id);
       ensure(cheapest <= budget_.limit, "infeasible: module ", m.id, " ('", m.name,
              "') needs at least ", cheapest, " power but the budget is ", budget_.limit);
     }
@@ -110,44 +110,6 @@ class Planner {
  private:
   // ----- shared helpers -------------------------------------------------
 
-  /// Enumerate legal (source, sink) resource index pairs for a module,
-  /// nearest-first (total hops, then source id, then sink id).
-  template <typename Fn>
-  void for_each_pair(int module_id, Fn&& fn) const {
-    struct Entry {
-      int hops;
-      std::size_t s, k;
-    };
-    std::vector<Entry> entries;
-    const noc::RouterId at = sys_.router_of(module_id);
-    const bool cross = sys_.params().allow_cross_pairing;
-    for (std::size_t s = 0; s < resources_.size(); ++s) {
-      const Endpoint& src = resources_[s].ep;
-      if (!src.can_source()) continue;
-      if (src.is_processor() && src.processor_module == module_id) continue;
-      if (src.is_processor() && !fits_processor_memory(sys_, module_id, src.cpu)) continue;
-      for (std::size_t k = 0; k < resources_.size(); ++k) {
-        const Endpoint& snk = resources_[k].ep;
-        if (!snk.can_sink()) continue;
-        if (snk.is_processor() && snk.processor_module == module_id) continue;
-        if (snk.is_processor() && !fits_processor_memory(sys_, module_id, snk.cpu)) continue;
-        if (s == k && !src.is_processor()) continue;  // only a CPU plays both roles
-        if (!cross && s != k && (src.is_processor() || snk.is_processor())) {
-          continue;  // default: ATE pair or one self-contained processor
-        }
-        entries.push_back({sys_.mesh().hop_count(src.router, at) +
-                               sys_.mesh().hop_count(at, snk.router),
-                           s, k});
-      }
-    }
-    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-      if (a.hops != b.hops) return a.hops < b.hops;
-      if (a.s != b.s) return a.s < b.s;
-      return a.k < b.k;
-    });
-    for (const Entry& e : entries) fn(e.s, e.k);
-  }
-
   bool resources_free(std::size_t s, std::size_t k, const Interval& iv) const {
     if (resources_[s].available_from > iv.start || resources_[s].busy.conflicts(iv)) {
       return false;
@@ -166,17 +128,18 @@ class Planner {
   }
 
   void commit(int module_id, const Candidate& c) {
-    const Interval iv{c.start, c.start + c.plan.duration};
+    const SessionPlan& plan = *c.plan;
+    const Interval iv{c.start, c.start + plan.duration};
     resources_[c.source].busy.insert(iv);
     if (c.sink != c.source) resources_[c.sink].busy.insert(iv);
     if (sys_.params().channel_model == ChannelModel::kCircuit) {
-      reservations_.reserve(c.plan.path_in, iv);
-      reservations_.reserve(c.plan.path_out, iv);
+      reservations_.reserve(plan.path_in, iv);
+      reservations_.reserve(plan.path_out, iv);
     } else {
-      channel_load_.add(c.plan.path_in, iv, c.plan.bandwidth_in);
-      channel_load_.add(c.plan.path_out, iv, c.plan.bandwidth_out);
+      channel_load_.add(plan.path_in, iv, plan.bandwidth_in);
+      channel_load_.add(plan.path_out, iv, plan.bandwidth_out);
     }
-    profile_.add(iv, c.plan.power);
+    profile_.add(iv, plan.power);
 
     Session session;
     session.module_id = module_id;
@@ -184,11 +147,11 @@ class Planner {
     session.sink_resource = static_cast<int>(c.sink);
     session.start = iv.start;
     session.end = iv.end;
-    session.power = c.plan.power;
-    session.path_in = c.plan.path_in;
-    session.path_out = c.plan.path_out;
-    session.bandwidth_in = c.plan.bandwidth_in;
-    session.bandwidth_out = c.plan.bandwidth_out;
+    session.power = plan.power;
+    session.path_in = plan.path_in;
+    session.path_out = plan.path_out;
+    session.bandwidth_in = plan.bandwidth_in;
+    session.bandwidth_out = plan.bandwidth_out;
     sessions_.push_back(std::move(session));
     ends_.insert(iv.end);
 
@@ -232,31 +195,30 @@ class Planner {
     // frees moments later loses to a free-but-slower processor, which
     // is the anomaly the paper reports on p22810.  Among simultaneously
     // free pairs, PairOrder decides (nearest hops, the paper's locality
-    // emphasis, or shortest session).
+    // emphasis, or shortest session).  The cheap rejects (availability,
+    // then the duration comparison against the running best) run before
+    // any booking-state lookups, and the plan itself is a table read.
     std::optional<Candidate> best;
     int best_hops = 0;
-    const noc::RouterId at = sys_.router_of(module_id);
-    for_each_pair(module_id, [&](std::size_t s, std::size_t k) {
-      if (resources_[s].available_from > t) return;
-      if (k != s && resources_[k].available_from > t) return;
-      const int hops = sys_.mesh().hop_count(resources_[s].ep.router, at) +
-                       sys_.mesh().hop_count(at, resources_[k].ep.router);
-      SessionPlan plan = plan_session(sys_, module_id, resources_[s].ep, resources_[k].ep);
+    const bool fastest = sys_.params().pair_order == PairOrder::kFastestFirst;
+    for (const PairChoice& pc : table_.pairs(module_id)) {
+      if (resources_[pc.source].available_from > t) continue;
+      if (pc.sink != pc.source && resources_[pc.sink].available_from > t) continue;
       if (best) {
-        // for_each_pair already yields nearest-first, so under
-        // kNearestFirst the first feasible hit is final; under
-        // kFastestFirst keep scanning for a shorter session.
-        if (sys_.params().pair_order == PairOrder::kNearestFirst) return;
-        if (plan.duration > best->plan.duration) return;
-        if (plan.duration == best->plan.duration && hops >= best_hops) return;
+        // The table is already nearest-first, so under kNearestFirst
+        // the first feasible hit is final; under kFastestFirst keep
+        // scanning for a shorter session.
+        if (!fastest) break;
+        if (pc.plan.duration > best->plan->duration) continue;
+        if (pc.plan.duration == best->plan->duration && pc.hops >= best_hops) continue;
       }
-      const Interval iv{t, t + plan.duration};
-      if (!resources_free(s, k, iv)) return;
-      if (!paths_free(plan, iv)) return;
-      if (!profile_.fits(iv, plan.power, budget_.limit)) return;
-      best = Candidate{s, k, t, std::move(plan)};
-      best_hops = hops;
-    });
+      const Interval iv{t, t + pc.plan.duration};
+      if (!resources_free(pc.source, pc.sink, iv)) continue;
+      if (!paths_free(pc.plan, iv)) continue;
+      if (!profile_.fits(iv, pc.plan.power, budget_.limit)) continue;
+      best = Candidate{pc.source, pc.sink, t, &pc.plan};
+      best_hops = pc.hops;
+    }
     return best;
   }
 
@@ -272,19 +234,18 @@ class Planner {
   void run_earliest_completion() {
     for (int module_id : order_) {
       std::optional<Candidate> best;
-      for_each_pair(module_id, [&](std::size_t s, std::size_t k) {
+      for (const PairChoice& pc : table_.pairs(module_id)) {
         // Unenabled processors have available_from == kNever and are
         // skipped; processors appear earlier in the priority order, so
         // their availability is known by the time plain cores plan.
-        if (resources_[s].available_from == kNever) return;
-        if (k != s && resources_[k].available_from == kNever) return;
-        SessionPlan plan = plan_session(sys_, module_id, resources_[s].ep, resources_[k].ep);
-        if (plan.power > budget_.limit) return;
-        const std::uint64_t start = earliest_feasible_start(s, k, plan);
-        if (!best || start + plan.duration < best->start + best->plan.duration) {
-          best = Candidate{s, k, start, std::move(plan)};
+        if (resources_[pc.source].available_from == kNever) continue;
+        if (pc.sink != pc.source && resources_[pc.sink].available_from == kNever) continue;
+        if (pc.plan.power > budget_.limit) continue;
+        const std::uint64_t start = earliest_feasible_start(pc.source, pc.sink, pc.plan);
+        if (!best || start + pc.plan.duration < best->start + best->plan->duration) {
+          best = Candidate{pc.source, pc.sink, start, &pc.plan};
         }
-      });
+      }
       ensure(best.has_value(), "planner: no feasible interface pair for module ", module_id);
       commit(module_id, *best);
     }
@@ -343,6 +304,7 @@ class Planner {
 
   const SystemModel& sys_;
   power::PowerBudget budget_;
+  const PairTable& table_;
   std::vector<ResourceState> resources_;
   noc::ChannelReservations reservations_;
   ChannelLoadTable channel_load_;
@@ -354,6 +316,20 @@ class Planner {
 
 }  // namespace
 
+std::vector<bool> cpu_eligible_modules(const SystemModel& sys) {
+  std::vector<bool> eligible(sys.soc().modules.size(), false);
+  for (const itc02::Module& m : sys.soc().modules) {
+    for (const Endpoint& ep : sys.endpoints()) {
+      if (!ep.is_processor() || ep.processor_module == m.id) continue;
+      if (fits_processor_memory(sys, m.id, ep.cpu)) {
+        eligible[static_cast<std::size_t>(m.id - 1)] = true;  // ids are 1..N
+        break;
+      }
+    }
+  }
+  return eligible;
+}
+
 std::vector<int> priority_order(const SystemModel& sys) {
   std::vector<int> ids;
   ids.reserve(sys.soc().modules.size());
@@ -363,13 +339,9 @@ std::vector<int> priority_order(const SystemModel& sys) {
   // the memory to test it; inflexible cores can only use the external
   // tester, so they get the ATE first (machine-eligibility list
   // scheduling: the constrained jobs seed the constrained machine).
-  auto cpu_eligible = [&](int id) {
-    for (const Endpoint& ep : sys.endpoints()) {
-      if (!ep.is_processor() || ep.processor_module == id) continue;
-      if (fits_processor_memory(sys, id, ep.cpu)) return true;
-    }
-    return false;
-  };
+  // Computed once as a bitmap: the comparator runs O(n log n) times and
+  // must not rescan every endpoint (and every wrapper phase) per call.
+  const std::vector<bool> eligible = cpu_eligible_modules(sys);
 
   const PlannerParams& p = sys.params();
   auto key_less = [&](int a, int b) {
@@ -378,8 +350,8 @@ std::vector<int> priority_order(const SystemModel& sys) {
     if (p.processors_first && ma.is_processor != mb.is_processor) {
       return ma.is_processor;  // processors first (cheap bootstrap)
     }
-    const bool ea = cpu_eligible(a);
-    const bool eb = cpu_eligible(b);
+    const bool ea = eligible[static_cast<std::size_t>(a - 1)];
+    const bool eb = eligible[static_cast<std::size_t>(b - 1)];
     if (ea != eb) return !ea;  // ATE-only cores ahead of flexible ones
     switch (p.priority) {
       case PriorityPolicy::kDistanceFirst: {
@@ -411,11 +383,18 @@ std::vector<int> priority_order(const SystemModel& sys) {
 }
 
 Schedule plan_tests(const SystemModel& sys, const power::PowerBudget& budget) {
-  return Planner(sys, budget, priority_order(sys)).run();
+  const PairTable pairs(sys);
+  return Planner(sys, budget, priority_order(sys), pairs).run();
 }
 
 Schedule plan_tests_with_order(const SystemModel& sys, const power::PowerBudget& budget,
                                const std::vector<int>& order) {
+  const PairTable pairs(sys);
+  return plan_tests_with_order(sys, budget, order, pairs);
+}
+
+Schedule plan_tests_with_order(const SystemModel& sys, const power::PowerBudget& budget,
+                               const std::vector<int>& order, const PairTable& pairs) {
   // The order must name every module exactly once.
   std::vector<int> sorted = order;
   std::sort(sorted.begin(), sorted.end());
@@ -424,7 +403,7 @@ Schedule plan_tests_with_order(const SystemModel& sys, const power::PowerBudget&
   for (const itc02::Module& m : sys.soc().modules) expected.push_back(m.id);
   ensure(sorted == expected,
          "plan_tests_with_order: order must be a permutation of all module ids");
-  return Planner(sys, budget, order).run();
+  return Planner(sys, budget, order, pairs).run();
 }
 
 }  // namespace nocsched::core

@@ -19,6 +19,7 @@
 // planner books each core into the (pair, start time) combination that
 // finishes earliest, which removes the anomaly (ablation A1).
 
+#include "core/pair_table.hpp"
 #include "core/schedule.hpp"
 #include "core/session_model.hpp"
 #include "core/system_model.hpp"
@@ -35,6 +36,13 @@ namespace nocsched::core {
 /// exposed for tests and reporting.
 [[nodiscard]] std::vector<int> priority_order(const SystemModel& sys);
 
+/// Per-module CPU-eligibility bitmap, indexed by module id - 1: true
+/// when at least one *other* processor has the memory to run the
+/// module's test.  Shared by priority_order's comparator and the
+/// multistart tier partition, both of which used to rescan every
+/// endpoint per query.
+[[nodiscard]] std::vector<bool> cpu_eligible_modules(const SystemModel& sys);
+
 /// Plan with an explicit module order (must be a permutation of all
 /// module ids); only the offer sequence changes, every feasibility rule
 /// still applies.  Used by the multistart improver and by callers with
@@ -42,5 +50,15 @@ namespace nocsched::core {
 [[nodiscard]] Schedule plan_tests_with_order(const SystemModel& sys,
                                              const power::PowerBudget& budget,
                                              const std::vector<int>& order);
+
+/// As above, reusing a caller-owned PairTable so repeated planning over
+/// the same system (the multistart hot path) skips re-enumerating pairs
+/// and re-deriving session plans.  `pairs` must have been built from
+/// `sys` and must outlive the call; a const PairTable is safe to share
+/// across concurrent calls.
+[[nodiscard]] Schedule plan_tests_with_order(const SystemModel& sys,
+                                             const power::PowerBudget& budget,
+                                             const std::vector<int>& order,
+                                             const PairTable& pairs);
 
 }  // namespace nocsched::core

@@ -76,6 +76,16 @@ else
   fails=$((fails + 1))
 fi
 
+# --jobs parallelizes multistart without changing the answer.
+jobs_1=$("$cli" --soc d695 --procs 4 --restarts 6 --seed 7 --jobs 1 --format csv 2>/dev/null)
+jobs_4=$("$cli" --soc d695 --procs 4 --restarts 6 --seed 7 --jobs 4 --format csv 2>/dev/null)
+if [ -n "$jobs_1" ] && [ "$jobs_1" = "$jobs_4" ]; then
+  echo "ok: --jobs 4 matches --jobs 1"
+else
+  echo "FAIL: --jobs 4 and --jobs 1 disagreed for the same seed" >&2
+  fails=$((fails + 1))
+fi
+
 # Error paths: bad values must fail loudly, not succeed quietly.
 for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1"; do
   # shellcheck disable=SC2086  # intentional word splitting of $bad

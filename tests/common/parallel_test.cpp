@@ -1,0 +1,69 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nocsched {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const unsigned jobs : {0u, 1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  bool ran = false;
+  parallel_for(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, MoreJobsThanItemsIsFine) {
+  std::atomic<int> sum{0};
+  parallel_for(3, 64, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelFor, ResultsIndependentOfJobCount) {
+  // The multistart pattern: each index writes only its own slot; the
+  // gathered vector must not depend on the job count.
+  std::vector<std::uint64_t> serial(100);
+  parallel_for(serial.size(), 1, [&](std::size_t i) { serial[i] = i * i + 7; });
+  for (const unsigned jobs : {2u, 4u, 16u}) {
+    std::vector<std::uint64_t> parallel(100);
+    parallel_for(parallel.size(), jobs, [&](std::size_t i) { parallel[i] = i * i + 7; });
+    EXPECT_EQ(parallel, serial) << "jobs " << jobs;
+  }
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  // Failure behaviour must be as deterministic as success behaviour:
+  // whichever thread hits an error, the lowest-index exception wins.
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    std::atomic<int> completed{0};
+    try {
+      parallel_for(50, jobs, [&](std::size_t i) {
+        if (i == 17 || i == 31) throw std::runtime_error("boom " + std::to_string(i));
+        ++completed;
+      });
+      FAIL() << "expected an exception (jobs " << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 17");
+    }
+    // Every non-throwing index still ran before the rethrow.
+    EXPECT_EQ(completed.load(), 48);
+  }
+}
+
+TEST(HardwareJobs, IsAtLeastOne) { EXPECT_GE(hardware_jobs(), 1u); }
+
+}  // namespace
+}  // namespace nocsched

@@ -84,6 +84,52 @@ TEST(Multistart, RespectsPowerBudget) {
   sim::validate_or_throw(sys, result.best);
 }
 
+TEST(Multistart, ParallelIsBitIdenticalToSerial) {
+  // The contract the thread pool must keep: for the same seed, any
+  // --jobs value reproduces the serial run bit-for-bit — same best
+  // schedule (every session field), same improvement count.
+  for (const std::string& soc : itc02::builtin_names()) {
+    const SystemModel sys = SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, 4,
+                                                      PlannerParams::paper());
+    const power::PowerBudget budget = power::PowerBudget::unconstrained();
+    for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}, std::uint64_t{0x5EED}}) {
+      const MultistartResult serial = plan_tests_multistart(sys, budget, 12, seed, 1);
+      for (const unsigned jobs : {2u, 8u}) {
+        const MultistartResult parallel = plan_tests_multistart(sys, budget, 12, seed, jobs);
+        EXPECT_EQ(parallel.best.sessions, serial.best.sessions)
+            << soc << " seed " << seed << " jobs " << jobs;
+        EXPECT_EQ(parallel.best.makespan, serial.best.makespan);
+        EXPECT_EQ(parallel.best.peak_power, serial.best.peak_power);
+        EXPECT_EQ(parallel.first_makespan, serial.first_makespan);
+        EXPECT_EQ(parallel.restarts, serial.restarts);
+        EXPECT_EQ(parallel.improvements, serial.improvements);
+      }
+    }
+  }
+}
+
+TEST(Multistart, HardwareJobsDefaultMatchesSerial) {
+  // jobs == 0 means "one thread per hardware thread"; still identical.
+  const SystemModel sys = p22810(4);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  const MultistartResult serial = plan_tests_multistart(sys, budget, 10, 7, 1);
+  const MultistartResult hw = plan_tests_multistart(sys, budget, 10, 7, 0);
+  EXPECT_EQ(hw.best.sessions, serial.best.sessions);
+  EXPECT_EQ(hw.improvements, serial.improvements);
+}
+
+TEST(Multistart, RestartsAreIterationOrderIndependent) {
+  // Restart r draws from an RNG seeded by (seed, r) alone, so the best
+  // of 20 restarts found by one run must also be findable by a run that
+  // only explores restarts of the same indices: growing the restart
+  // count never changes what earlier restarts explored.
+  const SystemModel sys = p22810(4);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  const MultistartResult small = plan_tests_multistart(sys, budget, 5, 13);
+  const MultistartResult big = plan_tests_multistart(sys, budget, 20, 13);
+  EXPECT_LE(big.best.makespan, small.best.makespan);
+}
+
 TEST(Multistart, FindsImprovementsSomewhere) {
   // Across a few systems/seeds the random restarts should beat the
   // deterministic greedy at least once — otherwise the knob is dead.

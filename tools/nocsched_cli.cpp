@@ -17,6 +17,9 @@
 //   --restarts <n>      multistart random restarts (default 0 = plain greedy)
 //   --seed <n>          RNG seed for --restarts (default 0x5EED), so
 //                       multistart runs are reproducible
+//   --jobs <n>          threads planning --restarts orders (default: one
+//                       per hardware thread); the result is bit-identical
+//                       at every job count
 //   --wrapper <n>       wrapper chains per core (default 4)
 //   --format <f>        table (default) | gantt | csv | json | all
 //   --mesh <CxR>        mesh dimensions for --soc-file systems
@@ -27,6 +30,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -60,6 +64,7 @@ struct Options {
   core::ResourceChoice choice = core::ResourceChoice::kFirstAvailable;
   std::uint64_t restarts = 0;
   std::uint64_t seed = 0x5EED;
+  unsigned jobs = 0;  // 0 = one per hardware thread
   std::uint32_t wrapper = 4;
   std::string format = "table";
   int mesh_cols = 0;
@@ -71,9 +76,12 @@ struct Options {
   std::cerr << "usage: " << argv0
             << " [--soc d695|p22810|p93791] [--soc-file path] [--cpu leon|plasma]\n"
                "       [--procs N] [--power PCT] [--policy longest|distance|shortest]\n"
-               "       [--choice greedy|earliest] [--restarts N] [--seed N] [--wrapper N]\n"
-               "       [--format table|gantt|csv|json|all] [--mesh CxR] [--simulate]\n"
-               "  --seed makes --restarts multistart runs reproducible;\n"
+               "       [--choice greedy|earliest] [--restarts N] [--seed N] [--jobs N]\n"
+               "       [--wrapper N] [--format table|gantt|csv|json|all] [--mesh CxR]\n"
+               "       [--simulate]\n"
+               "  --seed makes --restarts multistart runs reproducible; --jobs\n"
+               "  plans restarts in parallel (default: hardware threads) with\n"
+               "  bit-identical results at any job count;\n"
                "  --simulate replays the plan on the flit-level simulator and\n"
                "  reports observed vs planned timing.\n";
   std::exit(2);
@@ -83,8 +91,8 @@ Options parse_args(int argc, char** argv) {
   // Keys taking a value, and valueless flags.  Unknown keys are
   // rejected by name (not a silent usage exit) so typos are diagnosable.
   static const std::set<std::string> value_keys = {
-      "soc",  "soc-file", "cpu",     "procs", "power", "policy",
-      "choice", "restarts", "seed",  "wrapper", "format", "mesh"};
+      "soc",  "soc-file", "cpu",     "procs", "power", "policy", "choice",
+      "restarts", "seed", "jobs", "wrapper", "format", "mesh"};
   static const std::set<std::string> flag_keys = {"simulate"};
 
   Options opt;
@@ -145,6 +153,11 @@ Options parse_args(int argc, char** argv) {
       opt.restarts = parse_u64(value, "--restarts");
     } else if (key == "seed") {
       opt.seed = parse_u64(value, "--seed");
+    } else if (key == "jobs") {
+      const std::uint64_t jobs = parse_u64(value, "--jobs");
+      ensure(jobs <= std::numeric_limits<unsigned>::max(), "--jobs value ", jobs,
+             " is out of range");
+      opt.jobs = static_cast<unsigned>(jobs);
     } else if (key == "simulate") {
       opt.simulate = true;
     } else if (key == "wrapper") {
@@ -214,7 +227,7 @@ int main(int argc, char** argv) {
     core::Schedule schedule;
     if (opt.restarts > 0) {
       const core::MultistartResult result =
-          core::plan_tests_multistart(sys, budget, opt.restarts, opt.seed);
+          core::plan_tests_multistart(sys, budget, opt.restarts, opt.seed, opt.jobs);
       schedule = result.best;
       std::cerr << "multistart: " << result.restarts << " orders tried, "
                 << result.improvements << " improvements, greedy "
