@@ -5,10 +5,14 @@
 // planner's speed is tracked across revisions; the bench also asserts
 // that the parallel run reproduces the serial result bit-for-bit.
 //
-//   MSP <soc> <procs> <restarts> <jobs> <wall_ms> <orders_per_sec> <best> <hw_threads>
+//   MSP <soc> <procs> <orders> <jobs> <wall_ms> <orders_per_sec> <best> <hw_threads> <strategy> <iters>
 //
 // (<hw_threads> is the recording machine's hardware concurrency —
-// multi-job rows only show real scaling when jobs <= hw_threads.)
+// multi-job rows only show real scaling when jobs <= hw_threads.
+// <strategy>/<iters> name the search strategy and its iteration budget
+// so planner_perf trajectories stay comparable across revisions that
+// change the search engine; this bench times the `restart` strategy,
+// the planner's raw orders/sec floor.)
 
 #include <algorithm>
 #include <chrono>
@@ -66,7 +70,8 @@ int main() {
             {hw, parallel_ms, parallel}}) {
         std::cout << "MSP " << soc << " " << procs << " " << r.restarts << " " << jobs << " "
                   << ms << " " << 1000.0 * static_cast<double>(r.restarts) / ms << " "
-                  << r.best.makespan << " " << hardware_jobs() << "\n";
+                  << r.best.makespan << " " << hardware_jobs() << " restart " << kRestarts
+                  << "\n";
       }
     }
     std::cout << "\n(orders/sec = full planner runs per second; MSP rows are parsed\n"

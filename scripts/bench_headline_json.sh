@@ -1,18 +1,23 @@
 #!/bin/sh
 # Runs bench_headline and re-emits its claim table as JSON, one object
 # per paper claim; optionally appends bench_des_replay's throughput
-# rows as a "des_replay" array and bench_multistart_perf's rows as a
-# "planner_perf" array, so the simulator's and the planner's own speed
-# are tracked alongside the paper claims.  Used to record
-# BENCH_headline.json data points (locally and from CI).  Usage:
+# rows as a "des_replay" array, bench_multistart_perf's rows as a
+# "planner_perf" array (each row names the search strategy and its
+# iteration budget, so trajectories stay comparable across revisions
+# that change the search engine), and bench_search_quality's rows as a
+# "search_quality" array (strategy-vs-strategy best makespans at an
+# equal evaluation budget).  Used to record BENCH_headline.json data
+# points (locally and from CI).  Usage:
 #   bench_headline_json.sh <path-to-bench_headline> [git-rev] \
-#     [path-to-bench_des_replay] [path-to-bench_multistart_perf]
+#     [path-to-bench_des_replay] [path-to-bench_multistart_perf] \
+#     [path-to-bench_search_quality]
 set -eu
 
-bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf]}
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality]}
 rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
 des_bin=${3:-}
 msp_bin=${4:-}
+sq_bin=${5:-}
 
 headline_out=$(mktemp)
 trap 'rm -f "$headline_out"' EXIT
@@ -61,13 +66,34 @@ if [ -n "$msp_bin" ]; then
     /^MSP / {
       rows[++n] = sprintf(\
         "    {\"soc\": \"%s\", \"procs\": %s, \"orders\": %s, \"jobs\": %s, " \
-        "\"wall_ms\": %s, \"orders_per_sec\": %s, \"best_makespan\": %s, \"hw_threads\": %s}",
-        $2, $3, $4, $5, $6, $7, $8, $9)
+        "\"wall_ms\": %s, \"orders_per_sec\": %s, \"best_makespan\": %s, \"hw_threads\": %s, " \
+        "\"strategy\": \"%s\", \"iters\": %s}",
+        $2, $3, $4, $5, $6, $7, $8, $9, $10, $11)
     }
     END {
       if (n == 0) { print "bench_headline_json.sh: no MSP rows parsed" > "/dev/stderr"; exit 1 }
       for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
     }' "$msp_out")
+fi
+
+sq_json=""
+if [ -n "$sq_bin" ]; then
+  sq_out=$(mktemp)
+  trap 'rm -f "$headline_out" "${des_out:-}" "${msp_out:-}" "$sq_out"' EXIT
+  "$sq_bin" > "$sq_out"
+  sq_json=$(awk '
+    /^SQ [a-z]/ {
+      power = ($4 == "none") ? "\"none\"" : "\"" $4 "\""
+      rows[++n] = sprintf(\
+        "    {\"soc\": \"%s\", \"procs\": %s, \"power_limit\": %s, \"strategy\": \"%s\", " \
+        "\"iters\": %s, \"evals\": %s, \"greedy_makespan\": %s, \"best_makespan\": %s, " \
+        "\"improvement_pct\": %s}",
+        $2, $3, power, $5, $6, $7, $8, $9, $10)
+    }
+    END {
+      if (n == 0) { print "bench_headline_json.sh: no SQ rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$sq_out")
 fi
 
 printf '{\n  "bench": "headline",\n  "date": "%s",\n  "rev": "%s",\n' \
@@ -78,5 +104,8 @@ if [ -n "$des_json" ]; then
 fi
 if [ -n "$msp_json" ]; then
   printf ',\n  "planner_perf": [\n%s\n  ]' "$msp_json"
+fi
+if [ -n "$sq_json" ]; then
+  printf ',\n  "search_quality": [\n%s\n  ]' "$sq_json"
 fi
 printf '\n}\n'

@@ -1,90 +1,29 @@
 #include "core/multistart.hpp"
 
-#include <cstddef>
-
-#include "common/error.hpp"
-#include "common/parallel.hpp"
-#include "common/rng.hpp"
-#include "core/pair_table.hpp"
+#include "search/driver.hpp"
 
 namespace nocsched::core {
-
-namespace {
-
-/// Independent RNG stream per restart: the orders restart r explores
-/// depend only on (seed, r), never on how many restarts ran before it
-/// or on which thread ran it.  SplitMix-style golden-ratio stepping
-/// feeds Rng's own SplitMix64 expansion, so streams are well separated.
-std::uint64_t restart_seed(std::uint64_t seed, std::uint64_t r) {
-  return seed + 0x9E3779B97F4A7C15ULL * (r + 1);
-}
-
-}  // namespace
 
 MultistartResult plan_tests_multistart(const SystemModel& sys,
                                        const power::PowerBudget& budget,
                                        std::uint64_t restarts, std::uint64_t seed,
                                        unsigned jobs) {
-  // One pair table serves the deterministic pass and every restart —
-  // pair legality and session cost are time- and order-invariant.
-  const PairTable pairs(sys);
-  const std::vector<int> base_order = priority_order(sys);
+  // One restart == one search chain of one evaluation, seeded by
+  // (seed, index) — the search driver reproduces the pre-refactor
+  // multistart bit-for-bit (asserted by search_tests).
+  search::SearchOptions options;
+  options.strategy = search::StrategyKind::kRestart;
+  options.iters = restarts;
+  options.seed = seed;
+  options.jobs = jobs;
+  search::SearchResult result = search::search_orders(sys, budget, options);
 
-  MultistartResult result;
-  result.best = plan_tests_with_order(sys, budget, base_order, pairs);
-  result.first_makespan = result.best.makespan;
-  result.restarts = 1 + restarts;
-  if (restarts == 0) return result;
-
-  // Partition once into shuffle tiers: 0 = processor self-tests,
-  // 1 = ATE-only cores, 2 = flexible cores (same partition as
-  // priority_order; shuffling must stay inside tiers or the processor
-  // bootstrap falls apart).
-  const std::vector<bool> eligible = cpu_eligible_modules(sys);
-  std::vector<std::vector<int>> tiers(3);
-  for (int id : base_order) {
-    const std::size_t tier =
-        (sys.soc().module(id).is_processor && sys.params().processors_first) ? 0
-        : eligible[static_cast<std::size_t>(id - 1)]                         ? 2
-                                                                             : 1;
-    tiers[tier].push_back(id);
-  }
-
-  auto order_of = [&](std::uint64_t r) {
-    Rng rng(restart_seed(seed, r));
-    std::vector<int> order;
-    order.reserve(base_order.size());
-    for (const std::vector<int>& tier : tiers) {
-      std::vector<int> shuffled = tier;
-      rng.shuffle(shuffled);
-      order.insert(order.end(), shuffled.begin(), shuffled.end());
-    }
-    return order;
-  };
-
-  // Plan every restart (in parallel when jobs allows), keep only the
-  // makespans, then reduce serially by (makespan, restart index): the
-  // result is bit-identical at any job count.  The winning order is
-  // re-planned once rather than keeping every candidate schedule alive.
-  std::vector<std::uint64_t> makespans(restarts, 0);
-  parallel_for(restarts, jobs, [&](std::size_t r) {
-    makespans[r] = plan_tests_with_order(sys, budget, order_of(r), pairs).makespan;
-  });
-
-  std::uint64_t best_makespan = result.best.makespan;
-  std::size_t best_restart = restarts;  // sentinel: the deterministic pass wins
-  for (std::size_t r = 0; r < restarts; ++r) {
-    if (makespans[r] < best_makespan) {
-      best_makespan = makespans[r];
-      best_restart = r;
-      ++result.improvements;
-    }
-  }
-  if (best_restart < restarts) {
-    result.best = plan_tests_with_order(sys, budget, order_of(best_restart), pairs);
-    NOCSCHED_ASSERT(result.best.makespan == best_makespan);
-  }
-  return result;
+  MultistartResult out;
+  out.best = std::move(result.best);
+  out.first_makespan = result.first_makespan;
+  out.restarts = result.telemetry.evaluations;
+  out.improvements = result.telemetry.improvements;
+  return out;
 }
 
 }  // namespace nocsched::core

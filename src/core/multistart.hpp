@@ -10,10 +10,13 @@
 // and as an upper-bound probe on how much the single-pass greedy leaves
 // on the table (ablation A10).
 //
-// All restarts share one precomputed PairTable and each restart draws
-// its shuffles from an RNG seeded by (seed, restart index), so restarts
-// are independent and can run on any number of threads with the same
-// result.
+// This is now a compatibility shim: the search machinery lives in
+// src/search/ (strategy interface + deterministic parallel driver), and
+// plan_tests_multistart delegates to the `restart` strategy, which
+// reproduces the original loop bit-for-bit — same (seed, restart index)
+// RNG streams, same (makespan, index) reduction, same result at every
+// job count.  New callers wanting annealing or local search should use
+// search::search_orders directly.
 
 #include <cstdint>
 

@@ -5,6 +5,7 @@
 #include "common/ascii_chart.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "sim/validate.hpp"
 
 namespace nocsched::report {
@@ -37,37 +38,44 @@ double ReuseSweep::reduction_at(int processors, std::optional<double> power_frac
 ReuseSweep run_reuse_sweep(std::string_view soc_name, itc02::ProcessorKind kind,
                            std::span<const int> processor_counts,
                            std::span<const std::optional<double>> power_fractions,
-                           const core::PlannerParams& params) {
+                           const core::PlannerParams& params, unsigned jobs) {
   ReuseSweep sweep;
   sweep.soc_name = std::string(soc_name);
   sweep.kind = kind;
-  for (int procs : processor_counts) {
+  // Every (processors, fraction) grid point is an independent planner
+  // run writing into its own preassigned slot; parallel_for rethrows
+  // the lowest-index failure, so both results and errors are identical
+  // at every job count.  Each point builds its own SystemModel — the
+  // model is cheap next to planning, and sharing one across threads
+  // would serialize nothing anyway (it is only read).
+  const std::size_t rows = power_fractions.size();
+  sweep.points.resize(processor_counts.size() * rows);
+  parallel_for(sweep.points.size(), jobs, [&](std::size_t i) {
+    const int procs = processor_counts[i / rows];
+    const std::optional<double>& fraction = power_fractions[i % rows];
     const core::SystemModel sys = core::SystemModel::paper_system(soc_name, kind, procs, params);
-    for (const std::optional<double>& fraction : power_fractions) {
-      const power::PowerBudget budget =
-          fraction ? power::PowerBudget::fraction_of_total(sys.soc(), *fraction)
-                   : power::PowerBudget::unconstrained();
-      const core::Schedule schedule = core::plan_tests(sys, budget);
-      sim::validate_or_throw(sys, schedule);
-      SweepPoint point;
-      point.processors = procs;
-      point.power_fraction = fraction;
-      point.test_time = schedule.makespan;
-      point.peak_power = schedule.peak_power;
-      point.sessions = schedule.sessions.size();
-      sweep.points.push_back(point);
-    }
-  }
+    const power::PowerBudget budget =
+        fraction ? power::PowerBudget::fraction_of_total(sys.soc(), *fraction)
+                 : power::PowerBudget::unconstrained();
+    const core::Schedule schedule = core::plan_tests(sys, budget);
+    sim::validate_or_throw(sys, schedule);
+    SweepPoint& point = sweep.points[i];
+    point.processors = procs;
+    point.power_fraction = fraction;
+    point.test_time = schedule.makespan;
+    point.peak_power = schedule.peak_power;
+    point.sessions = schedule.sessions.size();
+  });
   return sweep;
 }
 
 ReuseSweep run_paper_panel(std::string_view soc_name, itc02::ProcessorKind kind,
-                           const core::PlannerParams& params) {
+                           const core::PlannerParams& params, unsigned jobs) {
   std::vector<int> counts = {0, 2, 4, 6};
   if (soc_name != "d695") counts.push_back(8);
   const std::vector<std::optional<double>> fractions = {std::optional<double>(0.5),
                                                         std::nullopt};
-  return run_reuse_sweep(soc_name, kind, counts, fractions, params);
+  return run_reuse_sweep(soc_name, kind, counts, fractions, params, jobs);
 }
 
 std::string proc_label(int processors) {

@@ -46,16 +46,23 @@ struct ReuseSweep {
 };
 
 /// Run the sweep.  Every schedule is validated with sim::validate
-/// before its numbers are reported (throws on any violation).
+/// before its numbers are reported (throws on any violation).  Grid
+/// points are planned in parallel on up to `jobs` threads (0 = one per
+/// hardware thread; <= 1 serial): every point is independent and the
+/// results land in a preallocated slot per point, so `points` comes
+/// back in the same deterministic (processors, fraction) row order at
+/// every job count.
 [[nodiscard]] ReuseSweep run_reuse_sweep(std::string_view soc_name, itc02::ProcessorKind kind,
                                          std::span<const int> processor_counts,
                                          std::span<const std::optional<double>> power_fractions,
-                                         const core::PlannerParams& params);
+                                         const core::PlannerParams& params,
+                                         unsigned jobs = 0);
 
 /// The paper's grid for one system ("noproc..6proc" for d695,
 /// "..8proc" otherwise; 50% and unconstrained).
 [[nodiscard]] ReuseSweep run_paper_panel(std::string_view soc_name, itc02::ProcessorKind kind,
-                                         const core::PlannerParams& params);
+                                         const core::PlannerParams& params,
+                                         unsigned jobs = 0);
 
 /// Figure-1-style grouped bar panel.
 [[nodiscard]] std::string figure_panel(const ReuseSweep& sweep);

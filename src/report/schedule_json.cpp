@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "report/json_util.hpp"
+#include "search/driver.hpp"
 
 namespace nocsched::report {
 
@@ -23,7 +24,8 @@ const char* kind_name(core::EndpointKind kind) {
 
 }  // namespace
 
-std::string schedule_json(const core::SystemModel& sys, const core::Schedule& schedule) {
+std::string schedule_json(const core::SystemModel& sys, const core::Schedule& schedule,
+                          const search::SearchTelemetry* search) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"soc\": " << json_string(sys.soc().name) << ",\n";
@@ -36,6 +38,18 @@ std::string schedule_json(const core::SystemModel& sys, const core::Schedule& sc
     out << "null";
   }
   out << ",\n";
+
+  if (search != nullptr) {
+    out << "  \"search\": {\"strategy\": " << json_string(search->strategy)
+        << ", \"iterations\": " << search->iters
+        << ", \"evaluations\": " << search->evaluations
+        << ", \"proposals\": " << search->proposals << ", \"accepted\": " << search->accepted
+        << ", \"resets\": " << search->resets << ", \"chains\": " << search->chains
+        << ", \"improvements\": " << search->improvements
+        << ", \"converged_chains\": " << search->converged_chains
+        << ", \"first_makespan\": " << search->first_makespan
+        << ", \"best_makespan\": " << search->best_makespan << "},\n";
+  }
 
   out << "  \"resources\": [\n";
   const auto& eps = sys.endpoints();

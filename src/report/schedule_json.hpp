@@ -8,18 +8,29 @@
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
 
+namespace nocsched::search {
+struct SearchTelemetry;  // search/driver.hpp — only named here, never inspected
+}
+
 namespace nocsched::report {
 
 /// Serialize the plan as a JSON object:
 /// {
 ///   "soc": "...", "makespan": N, "peak_power": X, "power_limit": X|null,
+///   "search": {"strategy":"...","iterations":N,"evaluations":N,
+///              "proposals":N,"accepted":N,"resets":N,"chains":N,
+///              "improvements":N,"converged_chains":N,
+///              "first_makespan":N,"best_makespan":N},
 ///   "resources": [{"index":0,"name":"ATE-in","kind":"ate_input","router":R}, ...],
 ///   "sessions": [{"module":id,"name":"...","source":i,"sink":j,
 ///                 "start":a,"end":b,"power":p,
 ///                 "hops_in":n,"hops_out":m}, ...]
 /// }
+/// The "search" object appears only when `search` is non-null (the plan
+/// came from search::search_orders rather than the plain greedy).
 /// Sessions appear in start order.  Output ends with a newline.
 [[nodiscard]] std::string schedule_json(const core::SystemModel& sys,
-                                        const core::Schedule& schedule);
+                                        const core::Schedule& schedule,
+                                        const search::SearchTelemetry* search = nullptr);
 
 }  // namespace nocsched::report

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "search/driver.hpp"
 
 namespace nocsched::report {
 
@@ -28,6 +29,21 @@ std::string schedule_table(const core::SystemModel& sys, const core::Schedule& s
         << eps[static_cast<std::size_t>(s.sink_resource)].name() << std::right
         << std::setw(12) << s.start << std::setw(12) << s.end << std::setw(12)
         << s.duration() << std::setw(10) << s.power << "\n";
+  }
+  return out.str();
+}
+
+std::string search_summary(const search::SearchTelemetry& t) {
+  std::ostringstream out;
+  out << "search: " << t.strategy << " — " << with_commas(t.evaluations)
+      << " orders evaluated (budget " << with_commas(t.iters) << ") across " << t.chains
+      << (t.chains == 1 ? " chain" : " chains") << ", " << t.improvements
+      << (t.improvements == 1 ? " improvement" : " improvements") << ", greedy "
+      << with_commas(t.first_makespan) << " -> best " << with_commas(t.best_makespan) << "\n";
+  if (t.proposals > 0) {
+    out << "        " << with_commas(t.proposals) << " proposals, " << with_commas(t.accepted)
+        << " accepted, " << with_commas(t.resets) << " descent restarts, "
+        << t.converged_chains << " chains converged early\n";
   }
   return out.str();
 }

@@ -7,11 +7,20 @@
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
 
+namespace nocsched::search {
+struct SearchTelemetry;  // search/driver.hpp — only named here, never inspected
+}
+
 namespace nocsched::report {
 
 /// One line per session: module, interfaces, window, power.
 [[nodiscard]] std::string schedule_table(const core::SystemModel& sys,
                                          const core::Schedule& schedule);
+
+/// One-paragraph account of an order search: strategy, budget spent,
+/// move statistics, and greedy-vs-best makespan.  Prepended to the
+/// table/gantt output when the plan came from search::search_orders.
+[[nodiscard]] std::string search_summary(const search::SearchTelemetry& telemetry);
 
 /// ASCII Gantt chart, one lane per resource, `width` characters for the
 /// whole makespan.

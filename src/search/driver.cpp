@@ -1,0 +1,148 @@
+#include "search/driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace nocsched::search {
+
+namespace {
+
+/// Everything one chain reports back to the reduction.
+struct ChainOutcome {
+  std::vector<int> best_order;  ///< filled only when record_best_order
+  std::uint64_t best_makespan = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t proposals = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t resets = 0;
+  bool converged = false;  ///< propose() ended the chain before its budget
+};
+
+ChainOutcome run_chain(const EvalContext& ctx, const Strategy& strategy, std::uint64_t seed,
+                       std::uint64_t chain, std::uint64_t budget,
+                       std::uint64_t base_makespan, bool record_best_order) {
+  Rng rng = EvalContext::chain_rng(seed, chain);
+  ChainState state;
+  state.budget = budget;
+  const bool warm_start = strategy.init_chain(state, ctx, chain, rng);
+
+  ChainOutcome out;
+  if (warm_start) {
+    // The chain starts at the deterministic pass's order, whose
+    // makespan the driver already knows — don't spend a budgeted
+    // evaluation re-deriving it.
+    state.makespan = base_makespan;
+  } else {
+    state.makespan = ctx.evaluate(state.order);
+    out.evals = 1;
+  }
+  if (record_best_order) out.best_order = state.order;
+  out.best_makespan = state.makespan;
+
+  while (out.evals < budget) {
+    std::optional<Proposal> p = strategy.propose(state, ctx, rng);
+    if (!p) {
+      out.converged = true;
+      break;
+    }
+    ++state.step;
+    ++out.proposals;
+    const std::uint64_t makespan = ctx.evaluate(p->order);
+    ++out.evals;
+    if (makespan < out.best_makespan) {
+      out.best_makespan = makespan;
+      if (record_best_order) out.best_order = p->order;
+    }
+    if (p->reset) {
+      state.order = std::move(p->order);
+      state.makespan = makespan;
+      state.since_accept = 0;
+      ++out.resets;
+    } else if (strategy.accept(state, makespan, rng)) {
+      state.order = std::move(p->order);
+      state.makespan = makespan;
+      state.since_accept = 0;
+      ++out.accepted;
+    } else {
+      ++state.since_accept;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SearchResult search_orders(const core::SystemModel& sys, const power::PowerBudget& budget,
+                           const SearchOptions& options) {
+  const EvalContext ctx(sys, budget);
+  const Strategy& strategy = strategy_for(options.strategy);
+
+  SearchResult result;
+  result.best = ctx.plan(ctx.base_order());
+  result.first_makespan = result.best.makespan;
+  result.telemetry.strategy = std::string(strategy.name());
+  result.telemetry.iters = options.iters;
+  result.telemetry.evaluations = 1;
+  result.telemetry.first_makespan = result.first_makespan;
+  result.telemetry.best_makespan = result.best.makespan;
+  if (options.iters == 0) return result;
+
+  const std::uint64_t chains =
+      std::clamp<std::uint64_t>(strategy.chains(options.iters), 1, options.iters);
+  result.telemetry.chains = chains;
+
+  // Budget split: iters / chains each, the remainder spread over the
+  // lowest chain indices — a pure function of (iters, chains).
+  const std::uint64_t base = options.iters / chains;
+  const std::uint64_t extra = options.iters % chains;
+
+  // With few chains (anneal/local cap at 8) keeping each chain's best
+  // order costs next to nothing, so record directly; with one chain
+  // per iteration (restart) that would hold every shuffle's best alive
+  // at once, so store only makespans and replay the one winning chain
+  // — its single evaluation — to recover the order, as PR 3 did.
+  const bool record_best_order = chains <= 64;
+  auto budget_of = [&](std::uint64_t c) { return base + (c < extra ? 1 : 0); };
+  std::vector<ChainOutcome> outcomes(chains);
+  parallel_for(chains, options.jobs, [&](std::size_t c) {
+    outcomes[c] = run_chain(ctx, strategy, options.seed, c, budget_of(c),
+                            result.first_makespan, record_best_order);
+  });
+
+  // Serial reduction by (makespan, chain index): strictly-better chains
+  // bump the improvement counter, exactly like PR 3's multistart scan.
+  std::uint64_t best_makespan = result.first_makespan;
+  std::size_t best_chain = chains;  // sentinel: the deterministic pass wins
+  for (std::size_t c = 0; c < chains; ++c) {
+    const ChainOutcome& out = outcomes[c];
+    result.telemetry.evaluations += out.evals;
+    result.telemetry.proposals += out.proposals;
+    result.telemetry.accepted += out.accepted;
+    result.telemetry.resets += out.resets;
+    if (out.converged) ++result.telemetry.converged_chains;
+    if (out.best_makespan < best_makespan) {
+      best_makespan = out.best_makespan;
+      best_chain = c;
+      ++result.telemetry.improvements;
+    }
+  }
+  if (best_chain < chains) {
+    if (!record_best_order) {
+      // Chains are deterministic, so replaying the winner (with order
+      // recording on) recovers its best order.
+      outcomes[best_chain] =
+          run_chain(ctx, strategy, options.seed, best_chain, budget_of(best_chain),
+                    result.first_makespan, /*record_best_order=*/true);
+      NOCSCHED_ASSERT(outcomes[best_chain].best_makespan == best_makespan);
+    }
+    result.best = ctx.plan(outcomes[best_chain].best_order);
+    NOCSCHED_ASSERT(result.best.makespan == best_makespan);
+  }
+  result.telemetry.best_makespan = result.best.makespan;
+  return result;
+}
+
+}  // namespace nocsched::search

@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic parallel driver for order search.
+//
+// The driver generalizes PR 3's multistart determinism scheme to any
+// Strategy: the iteration budget is split into independent chains, each
+// chain's RNG stream is seeded by (seed, chain index) alone, chains run
+// on any number of threads via parallel_for, and the per-chain bests
+// are reduced serially by (makespan, chain index).  The result is a
+// pure function of (system, budget, options) — bit-identical at every
+// job count, asserted across strategies by the search test suite.
+//
+// The deterministic priority-order pass always runs first (it is the
+// baseline every strategy must beat and the answer when iters == 0);
+// the iteration budget counts the order evaluations spent beyond it.
+
+#include <cstdint>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+#include "power/budget.hpp"
+#include "search/strategy.hpp"
+
+namespace nocsched::search {
+
+struct SearchOptions {
+  StrategyKind strategy = StrategyKind::kRestart;
+  /// Order evaluations beyond the deterministic pass (0 = greedy only).
+  std::uint64_t iters = 0;
+  std::uint64_t seed = 0x5EED;
+  /// Threads running chains (0 = one per hardware thread; <= 1 serial).
+  unsigned jobs = 1;
+};
+
+/// What the search did — emitted by report::* alongside the schedule so
+/// runs are comparable ("was that makespan 10 evaluations or 10,000?").
+struct SearchTelemetry {
+  std::string strategy;
+  std::uint64_t iters = 0;         ///< requested iteration budget
+  std::uint64_t chains = 0;        ///< independent chains run
+  std::uint64_t evaluations = 0;   ///< orders planned, incl. the deterministic pass
+  std::uint64_t proposals = 0;     ///< strategy moves evaluated (0 for restart)
+  std::uint64_t accepted = 0;      ///< proposals that replaced a chain incumbent
+  std::uint64_t resets = 0;        ///< descent restarts / diversification jumps
+  std::uint64_t improvements = 0;  ///< global-best updates during the reduction
+  std::uint64_t converged_chains = 0;  ///< chains that stopped before their budget
+  std::uint64_t first_makespan = 0;    ///< the deterministic pass's makespan
+  std::uint64_t best_makespan = 0;
+};
+
+struct SearchResult {
+  core::Schedule best;
+  std::uint64_t first_makespan = 0;
+  SearchTelemetry telemetry;
+};
+
+/// Search for a low-makespan order of `sys` under `budget`.  Every
+/// candidate order goes through the same planner (and is validated by
+/// callers exactly like a greedy plan); the best schedule is re-planned
+/// once from the winning chain's order.
+[[nodiscard]] SearchResult search_orders(const core::SystemModel& sys,
+                                         const power::PowerBudget& budget,
+                                         const SearchOptions& options);
+
+}  // namespace nocsched::search

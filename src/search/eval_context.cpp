@@ -1,0 +1,63 @@
+#include "search/eval_context.hpp"
+
+#include "core/scheduler.hpp"
+
+namespace nocsched::search {
+
+EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget)
+    : sys_(sys),
+      budget_(budget),
+      pairs_(sys),
+      eligible_(core::cpu_eligible_modules(sys)),
+      base_order_(core::priority_order(sys)) {
+  // Partition the base order into shuffle tiers: 0 = processor
+  // self-tests (only when the bootstrap runs them first), 1 = ATE-only
+  // cores, 2 = flexible cores.  priority_order sorts by exactly this
+  // partition before any policy key, so the base order is the tiers
+  // concatenated and each tier is one contiguous position segment.
+  tiers_.resize(3);
+  for (int id : base_order_) {
+    const std::size_t tier =
+        (sys.soc().module(id).is_processor && sys.params().processors_first) ? 0
+        : eligible_[static_cast<std::size_t>(id - 1)]                        ? 2
+                                                                             : 1;
+    tiers_[tier].push_back(id);
+  }
+
+  segment_index_.resize(base_order_.size());
+  std::size_t pos = 0;
+  for (const std::vector<int>& tier : tiers_) {
+    if (tier.empty()) continue;
+    const Segment seg{pos, pos + tier.size()};
+    for (std::size_t p = seg.begin; p < seg.end; ++p) {
+      segment_index_[p] = segments_.size();
+      if (seg.size() >= 2) swappable_positions_.push_back(p);
+    }
+    for (std::size_t i = seg.begin; i < seg.end; ++i) {
+      for (std::size_t j = i + 1; j < seg.end; ++j) swap_pairs_.emplace_back(i, j);
+    }
+    segments_.push_back(seg);
+    pos = seg.end;
+  }
+}
+
+std::uint64_t EvalContext::evaluate(const std::vector<int>& order) const {
+  return core::plan_tests_with_order(sys_, budget_, order, pairs_).makespan;
+}
+
+core::Schedule EvalContext::plan(const std::vector<int>& order) const {
+  return core::plan_tests_with_order(sys_, budget_, order, pairs_);
+}
+
+std::vector<int> EvalContext::shuffled_order(Rng& rng) const {
+  std::vector<int> order;
+  order.reserve(base_order_.size());
+  for (const std::vector<int>& tier : tiers_) {
+    std::vector<int> shuffled = tier;
+    rng.shuffle(shuffled);
+    order.insert(order.end(), shuffled.begin(), shuffled.end());
+  }
+  return order;
+}
+
+}  // namespace nocsched::search

@@ -1,0 +1,98 @@
+#pragma once
+// Shared evaluation context for order search.
+//
+// Everything a search strategy needs that is invariant across the whole
+// search lives here, built once per search::Driver run: the PairTable
+// (pair legality and session cost never change), the CPU-eligibility
+// bitmap, the deterministic base priority order, and the shuffle-tier
+// partition that every legal order must respect (processor bootstrap
+// first, then ATE-only cores, then flexible cores — shuffling or
+// swapping across tiers would break the planner's bootstrap invariant).
+// The context is immutable after construction and safe to share by
+// const reference across concurrent chains; per-chain randomness comes
+// from chain_rng's (seed, chain index) scheme, never from shared state.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pair_table.hpp"
+#include "core/schedule.hpp"
+#include "core/system_model.hpp"
+#include "power/budget.hpp"
+
+namespace nocsched::search {
+
+class EvalContext {
+ public:
+  EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget);
+
+  /// Makespan of planning `sys` with `order` (the search hot path: the
+  /// schedule itself is discarded; the driver re-plans the winner once).
+  [[nodiscard]] std::uint64_t evaluate(const std::vector<int>& order) const;
+
+  /// Full schedule for `order` (deterministic pass and final winner).
+  [[nodiscard]] core::Schedule plan(const std::vector<int>& order) const;
+
+  /// The deterministic priority order (concatenation of the tiers).
+  [[nodiscard]] const std::vector<int>& base_order() const { return base_order_; }
+
+  /// A contiguous run of positions in any tier-respecting order whose
+  /// modules share a shuffle tier; `[begin, end)` indexes the order.
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    [[nodiscard]] std::size_t size() const { return end - begin; }
+  };
+
+  /// Tier segments in order (empty tiers omitted).
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Positions that belong to a segment of size >= 2 — the positions a
+  /// within-tier swap move may touch.
+  [[nodiscard]] const std::vector<std::size_t>& swappable_positions() const {
+    return swappable_positions_;
+  }
+
+  /// Segment containing position `pos` (requires pos < order size).
+  [[nodiscard]] const Segment& segment_of(std::size_t pos) const {
+    return segments_[segment_index_[pos]];
+  }
+
+  /// Every within-tier position pair (i < j), enumerated segment by
+  /// segment — the greedy descent's deterministic sweep list.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>& swap_pairs() const {
+    return swap_pairs_;
+  }
+
+  /// A fresh random order: each tier shuffled independently, tiers
+  /// concatenated.  Consumes `rng` exactly as PR 3's multistart did, so
+  /// the restart strategy reproduces it bit-for-bit.
+  [[nodiscard]] std::vector<int> shuffled_order(Rng& rng) const;
+
+  /// RNG for chain `chain` of a search seeded with `seed`: the stream
+  /// depends only on (seed, chain), never on thread or schedule, which
+  /// is what makes any chain count bit-identical at any job count.
+  /// SplitMix-style golden-ratio stepping keeps the streams separated.
+  [[nodiscard]] static Rng chain_rng(std::uint64_t seed, std::uint64_t chain) {
+    return Rng(seed + 0x9E3779B97F4A7C15ULL * (chain + 1));
+  }
+
+  [[nodiscard]] const core::SystemModel& system() const { return sys_; }
+  [[nodiscard]] const core::PairTable& pair_table() const { return pairs_; }
+  [[nodiscard]] const std::vector<bool>& cpu_eligible() const { return eligible_; }
+
+ private:
+  const core::SystemModel& sys_;
+  power::PowerBudget budget_;
+  core::PairTable pairs_;
+  std::vector<bool> eligible_;
+  std::vector<int> base_order_;
+  std::vector<std::vector<int>> tiers_;
+  std::vector<Segment> segments_;
+  std::vector<std::size_t> segment_index_;  // position -> index into segments_
+  std::vector<std::size_t> swappable_positions_;
+  std::vector<std::pair<std::size_t, std::size_t>> swap_pairs_;
+};
+
+}  // namespace nocsched::search

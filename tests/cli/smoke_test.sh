@@ -65,6 +65,48 @@ check "--cpu plasma"        "$cli" --soc d695 --cpu plasma --procs 4 --format ta
 check "--power 50"          "$cli" --soc d695 --procs 4 --power 50 --format table
 check "--policy shortest"   "$cli" --soc d695 --procs 4 --policy shortest --format table
 check "--restarts 3"        "$cli" --soc d695 --procs 4 --restarts 3 --format table
+check "--search anneal"     "$cli" --soc d695 --procs 4 --search anneal --iters 20 --format table
+check "--search local"      "$cli" --soc d695 --procs 4 --search local --iters 20 --format table
+check "--search restart"    "$cli" --soc d695 --procs 4 --search restart --format table
+
+# A searched plan's JSON must carry the search telemetry object.
+sjson=$("$cli" --soc d695 --procs 4 --search local --iters 10 --format json 2>/dev/null)
+case $sjson in
+  *'"search"'*'"strategy": "local"'*'"evaluations"'*)
+    echo "ok: search json has strategy telemetry" ;;
+  *) echo "FAIL: search json missing search telemetry" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# ...and a plain greedy plan's JSON must not.
+gjson=$("$cli" --soc d695 --procs 4 --format json 2>/dev/null)
+case $gjson in
+  *'"search"'*) echo "FAIL: greedy json unexpectedly has a search object" >&2
+                fails=$((fails + 1)) ;;
+  *) echo "ok: greedy json has no search object" ;;
+esac
+
+# Every strategy is reproducible and jobs-invariant from the CLI.
+for strat in restart anneal local; do
+  s1=$("$cli" --soc d695 --procs 4 --search "$strat" --iters 8 --seed 7 --jobs 1 --format csv 2>/dev/null)
+  s4=$("$cli" --soc d695 --procs 4 --search "$strat" --iters 8 --seed 7 --jobs 4 --format csv 2>/dev/null)
+  if [ -n "$s1" ] && [ "$s1" = "$s4" ]; then
+    echo "ok: --search $strat jobs-invariant"
+  else
+    echo "FAIL: --search $strat --jobs 4 and --jobs 1 disagreed" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --restarts N must stay an exact alias for --search restart --iters N.
+alias_a=$("$cli" --soc d695 --procs 4 --restarts 5 --seed 3 --format csv 2>/dev/null)
+alias_b=$("$cli" --soc d695 --procs 4 --search restart --iters 5 --seed 3 --format csv 2>/dev/null)
+if [ -n "$alias_a" ] && [ "$alias_a" = "$alias_b" ]; then
+  echo "ok: --restarts aliases --search restart --iters"
+else
+  echo "FAIL: --restarts 5 and --search restart --iters 5 disagreed" >&2
+  fails=$((fails + 1))
+fi
 
 # --seed makes multistart runs reproducible from the command line.
 seed_a=$("$cli" --soc d695 --procs 4 --restarts 3 --seed 7 --format csv 2>/dev/null)
@@ -87,7 +129,8 @@ else
 fi
 
 # Error paths: bad values must fail loudly, not succeed quietly.
-for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1"; do
+for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1" "--search tabu" \
+           "--restarts 3 --iters 5" "--restarts 3 --search anneal"; do
   # shellcheck disable=SC2086  # intentional word splitting of $bad
   if "$cli" --procs 2 $bad >/dev/null 2>&1; then
     echo "FAIL: '$bad' exited 0" >&2

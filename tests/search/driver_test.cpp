@@ -1,0 +1,160 @@
+// The search driver's contracts: the deterministic pass is the
+// baseline and the answer at iters == 0, every strategy's result is a
+// pure function of (system, budget, options) — bit-identical at every
+// job count — and the telemetry accounts for every evaluation.
+
+#include "search/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched::search {
+namespace {
+
+const StrategyKind kAllStrategies[] = {StrategyKind::kRestart, StrategyKind::kAnneal,
+                                       StrategyKind::kLocal};
+
+core::SystemModel paper(const std::string& soc, int procs) {
+  return core::SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, procs,
+                                         core::PlannerParams::paper());
+}
+
+TEST(SearchDriver, ZeroItersIsThePlainGreedy) {
+  const core::SystemModel sys = paper("p22810", 2);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  for (const StrategyKind kind : kAllStrategies) {
+    SearchOptions options;
+    options.strategy = kind;
+    options.iters = 0;
+    const SearchResult result = search_orders(sys, budget, options);
+    EXPECT_EQ(result.best.makespan, core::plan_tests(sys, budget).makespan);
+    EXPECT_EQ(result.first_makespan, result.best.makespan);
+    EXPECT_EQ(result.telemetry.evaluations, 1u);
+    EXPECT_EQ(result.telemetry.chains, 0u);
+    EXPECT_EQ(result.telemetry.improvements, 0u);
+  }
+}
+
+TEST(SearchDriver, NeverWorseThanGreedyAndAlwaysValid) {
+  const core::SystemModel sys = paper("p22810", 4);
+  const power::PowerBudget budget = power::PowerBudget::fraction_of_total(sys.soc(), 0.5);
+  for (const StrategyKind kind : kAllStrategies) {
+    SearchOptions options;
+    options.strategy = kind;
+    options.iters = 30;
+    options.seed = 7;
+    const SearchResult result = search_orders(sys, budget, options);
+    EXPECT_LE(result.best.makespan, result.first_makespan) << to_string(kind);
+    EXPECT_LE(result.best.peak_power, budget.limit * (1 + 1e-9));
+    sim::validate_or_throw(sys, result.best);
+  }
+}
+
+TEST(SearchDriver, TelemetryAccountsForTheBudget) {
+  const core::SystemModel sys = paper("d695", 4);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  for (const StrategyKind kind : kAllStrategies) {
+    SearchOptions options;
+    options.strategy = kind;
+    options.iters = 40;
+    const SearchResult result = search_orders(sys, budget, options);
+    const SearchTelemetry& t = result.telemetry;
+    EXPECT_EQ(t.strategy, to_string(kind));
+    EXPECT_EQ(t.iters, 40u);
+    EXPECT_GE(t.chains, 1u);
+    // Evaluations: the deterministic pass plus at most the budget
+    // (chains may converge early — or skip their first evaluation when
+    // they warm-start from the already-evaluated base order — but
+    // never overrun).
+    EXPECT_GE(t.evaluations, 1u);
+    EXPECT_LE(t.evaluations, 1u + 40u);
+    EXPECT_LE(t.accepted, t.proposals);
+    // Each chain spends its evaluations on one initial order at most
+    // plus one per proposal.
+    EXPECT_GE(t.proposals, t.evaluations - 1 - t.chains);
+    EXPECT_LE(t.proposals, 40u);
+    EXPECT_EQ(t.best_makespan, result.best.makespan);
+    EXPECT_EQ(t.first_makespan, result.first_makespan);
+  }
+}
+
+TEST(SearchDriver, RestartTelemetryMatchesMultistartShape) {
+  const core::SystemModel sys = paper("d695", 4);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  SearchOptions options;
+  options.strategy = StrategyKind::kRestart;
+  options.iters = 25;
+  const SearchResult result = search_orders(sys, budget, options);
+  EXPECT_EQ(result.telemetry.chains, 25u);       // one chain per restart
+  EXPECT_EQ(result.telemetry.evaluations, 26u);  // incl. the deterministic pass
+  EXPECT_EQ(result.telemetry.proposals, 0u);     // restarts never iterate
+  EXPECT_EQ(result.telemetry.resets, 0u);
+}
+
+// Satellite (b): every strategy is bit-identical across job counts —
+// jobs only changes how chains are distributed over threads, never
+// which chains run or what they explore.
+TEST(SearchDriver, EveryStrategyIsBitIdenticalAcrossJobs) {
+  for (const std::string& soc : itc02::builtin_names()) {
+    const core::SystemModel sys = paper(soc, 4);
+    const power::PowerBudget budget = power::PowerBudget::unconstrained();
+    for (const StrategyKind kind : kAllStrategies) {
+      for (const std::uint64_t seed :
+           {std::uint64_t{1}, std::uint64_t{42}, std::uint64_t{0x5EED}}) {
+        SearchOptions options;
+        options.strategy = kind;
+        options.iters = 16;
+        options.seed = seed;
+        options.jobs = 1;
+        const SearchResult serial = search_orders(sys, budget, options);
+        for (const unsigned jobs : {2u, 8u}) {
+          options.jobs = jobs;
+          const SearchResult parallel = search_orders(sys, budget, options);
+          EXPECT_EQ(parallel.best.sessions, serial.best.sessions)
+              << soc << " " << to_string(kind) << " seed " << seed << " jobs " << jobs;
+          EXPECT_EQ(parallel.best.makespan, serial.best.makespan);
+          EXPECT_EQ(parallel.first_makespan, serial.first_makespan);
+          EXPECT_EQ(parallel.telemetry.evaluations, serial.telemetry.evaluations);
+          EXPECT_EQ(parallel.telemetry.proposals, serial.telemetry.proposals);
+          EXPECT_EQ(parallel.telemetry.accepted, serial.telemetry.accepted);
+          EXPECT_EQ(parallel.telemetry.improvements, serial.telemetry.improvements);
+        }
+      }
+    }
+  }
+}
+
+TEST(SearchDriver, HardwareJobsDefaultMatchesSerial) {
+  const core::SystemModel sys = paper("p22810", 4);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  for (const StrategyKind kind : kAllStrategies) {
+    SearchOptions options;
+    options.strategy = kind;
+    options.iters = 12;
+    options.seed = 7;
+    options.jobs = 1;
+    const SearchResult serial = search_orders(sys, budget, options);
+    options.jobs = 0;  // one thread per hardware thread
+    const SearchResult hw = search_orders(sys, budget, options);
+    EXPECT_EQ(hw.best.sessions, serial.best.sessions) << to_string(kind);
+    EXPECT_EQ(hw.telemetry.accepted, serial.telemetry.accepted);
+  }
+}
+
+TEST(SearchDriver, DeterministicInSeedAndSensitiveToIt) {
+  const core::SystemModel sys = paper("d695", 4);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  SearchOptions options;
+  options.strategy = StrategyKind::kAnneal;
+  options.iters = 50;
+  options.seed = 42;
+  const SearchResult a = search_orders(sys, budget, options);
+  const SearchResult b = search_orders(sys, budget, options);
+  EXPECT_EQ(a.best.sessions, b.best.sessions);
+  EXPECT_EQ(a.telemetry.accepted, b.telemetry.accepted);
+}
+
+}  // namespace
+}  // namespace nocsched::search

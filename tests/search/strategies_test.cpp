@@ -1,0 +1,236 @@
+// Strategy-level properties.  The load-bearing one is satellite (a):
+// the `restart` strategy must reproduce the pre-refactor multistart
+// loop bit-for-bit, asserted against an inline reference
+// implementation of PR 3's algorithm (same (seed, restart) RNG
+// streams, same tier shuffles, same (makespan, index) reduction) on
+// builtin and random systems.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/multistart.hpp"
+#include "core/scheduler.hpp"
+#include "itc02/random_soc.hpp"
+#include "search/driver.hpp"
+#include "search/eval_context.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched::search {
+namespace {
+
+core::SystemModel paper(const std::string& soc, int procs) {
+  return core::SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, procs,
+                                         core::PlannerParams::paper());
+}
+
+core::SystemModel random_system(Rng& rng) {
+  itc02::RandomSocSpec spec;
+  spec.min_cores = 3;
+  spec.max_cores = 12;
+  spec.max_scan_flops = 1200;
+  spec.max_patterns = 100;
+  itc02::Soc soc = itc02::random_soc(rng, spec);
+  const int procs = static_cast<int>(rng.below(4));
+  for (int i = 1; i <= procs; ++i) {
+    const auto kind = rng.chance(0.5) ? itc02::ProcessorKind::kLeon
+                                      : itc02::ProcessorKind::kPlasma;
+    soc.modules.push_back(
+        itc02::processor_module(kind, static_cast<int>(soc.modules.size()) + 1, i));
+  }
+  itc02::validate(soc);
+  const int cols = static_cast<int>(2 + rng.below(4));
+  const int rows = static_cast<int>(2 + rng.below(4));
+  noc::Mesh mesh(cols, rows);
+  auto placement = core::default_placement(soc, mesh);
+  const noc::RouterId in = core::default_ate_input(mesh);
+  const noc::RouterId out = core::default_ate_output(mesh);
+  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
+                           core::PlannerParams::paper());
+}
+
+/// PR 3's multistart, reimplemented from its spec as the reference for
+/// satellite (a): deterministic pass, then `restarts` tier-preserving
+/// shuffles drawn from Rng(seed + phi * (r + 1)), reduced by
+/// (makespan, restart index).
+core::Schedule reference_multistart(const core::SystemModel& sys,
+                                    const power::PowerBudget& budget, std::uint64_t restarts,
+                                    std::uint64_t seed, std::uint64_t* improvements) {
+  const std::vector<int> base_order = core::priority_order(sys);
+  const std::vector<bool> eligible = core::cpu_eligible_modules(sys);
+  std::vector<std::vector<int>> tiers(3);
+  for (int id : base_order) {
+    const std::size_t tier =
+        (sys.soc().module(id).is_processor && sys.params().processors_first) ? 0
+        : eligible[static_cast<std::size_t>(id - 1)]                         ? 2
+                                                                             : 1;
+    tiers[tier].push_back(id);
+  }
+  core::Schedule best = core::plan_tests_with_order(sys, budget, base_order);
+  *improvements = 0;
+  std::uint64_t best_makespan = best.makespan;
+  for (std::uint64_t r = 0; r < restarts; ++r) {
+    Rng rng(seed + 0x9E3779B97F4A7C15ULL * (r + 1));
+    std::vector<int> order;
+    for (const std::vector<int>& tier : tiers) {
+      std::vector<int> shuffled = tier;
+      rng.shuffle(shuffled);
+      order.insert(order.end(), shuffled.begin(), shuffled.end());
+    }
+    core::Schedule candidate = core::plan_tests_with_order(sys, budget, order);
+    if (candidate.makespan < best_makespan) {
+      best_makespan = candidate.makespan;
+      best = std::move(candidate);
+      ++*improvements;
+    }
+  }
+  return best;
+}
+
+void expect_restart_matches_reference(const core::SystemModel& sys,
+                                      const power::PowerBudget& budget,
+                                      std::uint64_t restarts, std::uint64_t seed,
+                                      const std::string& label) {
+  std::uint64_t ref_improvements = 0;
+  const core::Schedule reference =
+      reference_multistart(sys, budget, restarts, seed, &ref_improvements);
+
+  SearchOptions options;
+  options.strategy = StrategyKind::kRestart;
+  options.iters = restarts;
+  options.seed = seed;
+  options.jobs = 2;
+  const SearchResult result = search_orders(sys, budget, options);
+  EXPECT_EQ(result.best.sessions, reference.sessions) << label;
+  EXPECT_EQ(result.best.makespan, reference.makespan) << label;
+  EXPECT_EQ(result.telemetry.improvements, ref_improvements) << label;
+
+  // And the core::plan_tests_multistart compatibility shim agrees too.
+  const core::MultistartResult shim =
+      core::plan_tests_multistart(sys, budget, restarts, seed, 1);
+  EXPECT_EQ(shim.best.sessions, reference.sessions) << label;
+  EXPECT_EQ(shim.improvements, ref_improvements) << label;
+  EXPECT_EQ(shim.restarts, restarts + 1) << label;
+}
+
+TEST(RestartStrategy, BitIdenticalToPreRefactorMultistartOnBuiltins) {
+  for (const std::string& soc : itc02::builtin_names()) {
+    const core::SystemModel sys = paper(soc, 4);
+    expect_restart_matches_reference(sys, power::PowerBudget::unconstrained(), 15, 0x5EED,
+                                     soc);
+    expect_restart_matches_reference(
+        sys, power::PowerBudget::fraction_of_total(sys.soc(), 0.5), 10, 99, soc + "@50%");
+  }
+}
+
+TEST(RestartStrategy, BitIdenticalToPreRefactorMultistartOnRandomSystems) {
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{17}, std::uint64_t{2026}}) {
+    Rng rng(seed);
+    const core::SystemModel sys = random_system(rng);
+    expect_restart_matches_reference(sys, power::PowerBudget::unconstrained(), 8, seed,
+                                     cat("random seed ", seed));
+  }
+}
+
+TEST(Strategies, ParseAndPrintRoundTrip) {
+  for (const StrategyKind kind :
+       {StrategyKind::kRestart, StrategyKind::kAnneal, StrategyKind::kLocal}) {
+    EXPECT_EQ(parse_strategy(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_strategy("tabu"), Error);
+  EXPECT_THROW((void)parse_strategy(""), Error);
+}
+
+TEST(EvalContext, SegmentsPartitionTheOrderAndRespectTiers) {
+  const core::SystemModel sys = paper("p22810", 4);
+  const EvalContext ctx(sys, power::PowerBudget::unconstrained());
+  EXPECT_EQ(ctx.base_order(), core::priority_order(sys));
+
+  // Segments tile [0, n) without gaps or overlap.
+  std::size_t pos = 0;
+  for (const EvalContext::Segment& seg : ctx.segments()) {
+    EXPECT_EQ(seg.begin, pos);
+    EXPECT_LT(seg.begin, seg.end);
+    pos = seg.end;
+  }
+  EXPECT_EQ(pos, ctx.base_order().size());
+
+  // Every within-segment position maps back to its segment, and every
+  // swap pair stays inside one segment.
+  for (std::size_t p = 0; p < ctx.base_order().size(); ++p) {
+    const EvalContext::Segment& seg = ctx.segment_of(p);
+    EXPECT_GE(p, seg.begin);
+    EXPECT_LT(p, seg.end);
+  }
+  for (const auto& [i, j] : ctx.swap_pairs()) {
+    EXPECT_LT(i, j);
+    EXPECT_EQ(ctx.segment_of(i).begin, ctx.segment_of(j).begin);
+  }
+}
+
+TEST(EvalContext, ShuffledOrdersArePermutationsWithinSegments) {
+  const core::SystemModel sys = paper("d695", 4);
+  const EvalContext ctx(sys, power::PowerBudget::unconstrained());
+  Rng rng(11);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<int> order = ctx.shuffled_order(rng);
+    ASSERT_EQ(order.size(), ctx.base_order().size());
+    for (const EvalContext::Segment& seg : ctx.segments()) {
+      // The same module set occupies the segment, in any order.
+      std::vector<int> got(order.begin() + static_cast<std::ptrdiff_t>(seg.begin),
+                           order.begin() + static_cast<std::ptrdiff_t>(seg.end));
+      std::vector<int> want(ctx.base_order().begin() + static_cast<std::ptrdiff_t>(seg.begin),
+                            ctx.base_order().begin() + static_cast<std::ptrdiff_t>(seg.end));
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(AnnealAndLocal, ImproveOrMatchRestartSomewhere) {
+  // The reason adaptive strategies exist: at an equal evaluation
+  // budget they must find at least as good a makespan as blind
+  // restarts on the paper systems, and strictly better somewhere
+  // (asserted structurally by bench_search_quality; here we keep the
+  // budget small and only require never-worse-than-greedy plus a win
+  // on the known-improvable d695).
+  const core::SystemModel sys = paper("d695", 6);
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  std::uint64_t best_adaptive = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t restart_best = 0;
+  for (const StrategyKind kind :
+       {StrategyKind::kRestart, StrategyKind::kAnneal, StrategyKind::kLocal}) {
+    SearchOptions options;
+    options.strategy = kind;
+    options.iters = 64;
+    options.seed = 0x5EED;
+    const SearchResult result = search_orders(sys, budget, options);
+    EXPECT_LE(result.best.makespan, result.first_makespan);
+    sim::validate_or_throw(sys, result.best);
+    if (kind == StrategyKind::kRestart) {
+      restart_best = result.best.makespan;
+    } else {
+      best_adaptive = std::min(best_adaptive, result.best.makespan);
+    }
+  }
+  EXPECT_LT(best_adaptive, restart_best);
+}
+
+TEST(LocalStrategy, DescendsFromThePriorityOrder) {
+  // Chain 0 starts at the deterministic base order, so even one chain
+  // with a modest budget must end at or below the greedy makespan and
+  // report the moves it tried.
+  const core::SystemModel sys = paper("d695", 4);
+  SearchOptions options;
+  options.strategy = StrategyKind::kLocal;
+  options.iters = 40;
+  const SearchResult result = search_orders(sys, power::PowerBudget::unconstrained(), options);
+  EXPECT_LE(result.best.makespan, result.first_makespan);
+  EXPECT_GT(result.telemetry.proposals, 0u);
+}
+
+}  // namespace
+}  // namespace nocsched::search

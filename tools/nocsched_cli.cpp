@@ -14,11 +14,16 @@
 //                       omit for no limit
 //   --policy <p>        priority: longest (default) | distance | shortest
 //   --choice <c>        resource choice: greedy (default) | earliest
-//   --restarts <n>      multistart random restarts (default 0 = plain greedy)
-//   --seed <n>          RNG seed for --restarts (default 0x5EED), so
-//                       multistart runs are reproducible
-//   --jobs <n>          threads planning --restarts orders (default: one
-//                       per hardware thread); the result is bit-identical
+//   --search <s>        order-search strategy: restart | anneal | local
+//                       (default restart when --iters/--restarts is given)
+//   --iters <n>         order-evaluation budget for --search beyond the
+//                       deterministic pass (default 256 when --search is
+//                       given alone; 0 = plain greedy)
+//   --restarts <n>      legacy alias for "--search restart --iters n"
+//   --seed <n>          RNG seed for the search (default 0x5EED), so
+//                       search runs are reproducible
+//   --jobs <n>          threads running search chains (default: one per
+//                       hardware thread); every strategy is bit-identical
 //                       at every job count
 //   --wrapper <n>       wrapper chains per core (default 4)
 //   --format <f>        table (default) | gantt | csv | json | all
@@ -39,7 +44,6 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
-#include "core/multistart.hpp"
 #include "core/scheduler.hpp"
 #include "core/system_model.hpp"
 #include "des/replay.hpp"
@@ -47,6 +51,7 @@
 #include "report/schedule_json.hpp"
 #include "report/schedule_text.hpp"
 #include "report/trace_report.hpp"
+#include "search/driver.hpp"
 #include "sim/cross_check.hpp"
 #include "sim/validate.hpp"
 
@@ -62,6 +67,8 @@ struct Options {
   std::optional<double> power_pct;
   core::PriorityPolicy policy = core::PriorityPolicy::kLongestTestFirst;
   core::ResourceChoice choice = core::ResourceChoice::kFirstAvailable;
+  std::optional<search::StrategyKind> strategy;
+  std::optional<std::uint64_t> iters;
   std::uint64_t restarts = 0;
   std::uint64_t seed = 0x5EED;
   unsigned jobs = 0;  // 0 = one per hardware thread
@@ -76,12 +83,15 @@ struct Options {
   std::cerr << "usage: " << argv0
             << " [--soc d695|p22810|p93791] [--soc-file path] [--cpu leon|plasma]\n"
                "       [--procs N] [--power PCT] [--policy longest|distance|shortest]\n"
-               "       [--choice greedy|earliest] [--restarts N] [--seed N] [--jobs N]\n"
+               "       [--choice greedy|earliest] [--search restart|anneal|local]\n"
+               "       [--iters N] [--restarts N] [--seed N] [--jobs N]\n"
                "       [--wrapper N] [--format table|gantt|csv|json|all] [--mesh CxR]\n"
                "       [--simulate]\n"
-               "  --seed makes --restarts multistart runs reproducible; --jobs\n"
-               "  plans restarts in parallel (default: hardware threads) with\n"
-               "  bit-identical results at any job count;\n"
+               "  --search picks the order-search strategy and --iters its\n"
+               "  order-evaluation budget (--restarts N is a legacy alias for\n"
+               "  --search restart --iters N); --seed makes search runs\n"
+               "  reproducible; --jobs runs search chains in parallel (default:\n"
+               "  hardware threads) with bit-identical results at any job count;\n"
                "  --simulate replays the plan on the flit-level simulator and\n"
                "  reports observed vs planned timing.\n";
   std::exit(2);
@@ -91,8 +101,8 @@ Options parse_args(int argc, char** argv) {
   // Keys taking a value, and valueless flags.  Unknown keys are
   // rejected by name (not a silent usage exit) so typos are diagnosable.
   static const std::set<std::string> value_keys = {
-      "soc",  "soc-file", "cpu",     "procs", "power", "policy", "choice",
-      "restarts", "seed", "jobs", "wrapper", "format", "mesh"};
+      "soc",  "soc-file", "cpu",  "procs",   "power",  "policy", "choice", "search",
+      "iters", "restarts", "seed", "jobs", "wrapper", "format", "mesh"};
   static const std::set<std::string> flag_keys = {"simulate"};
 
   Options opt;
@@ -149,6 +159,10 @@ Options parse_args(int argc, char** argv) {
       } else {
         fail("unknown --choice '", value, "'");
       }
+    } else if (key == "search") {
+      opt.strategy = search::parse_strategy(value);
+    } else if (key == "iters") {
+      opt.iters = parse_u64(value, "--iters");
     } else if (key == "restarts") {
       opt.restarts = parse_u64(value, "--restarts");
     } else if (key == "seed") {
@@ -176,6 +190,12 @@ Options parse_args(int argc, char** argv) {
       NOCSCHED_ASSERT(!"option key accepted by the parse loop but not dispatched");
     }
   }
+  // --restarts is the legacy spelling of --search restart --iters;
+  // mixing it with the new flags has no single documented meaning, so
+  // reject the combination instead of silently preferring one side.
+  ensure(!(opt.restarts > 0 && (opt.strategy.has_value() || opt.iters.has_value())),
+         "--restarts is a legacy alias for --search restart --iters and cannot be "
+         "combined with --search/--iters");
   return opt;
 }
 
@@ -224,14 +244,21 @@ int main(int argc, char** argv) {
       fail("unknown --format '", opt.format, "'");
     }
 
+    // Search runs when any of --search/--iters/--restarts asks for it;
+    // --restarts N is the legacy spelling of --search restart --iters N.
+    const bool searching = opt.strategy.has_value() || opt.iters.has_value() || opt.restarts > 0;
     core::Schedule schedule;
-    if (opt.restarts > 0) {
-      const core::MultistartResult result =
-          core::plan_tests_multistart(sys, budget, opt.restarts, opt.seed, opt.jobs);
-      schedule = result.best;
-      std::cerr << "multistart: " << result.restarts << " orders tried, "
-                << result.improvements << " improvements, greedy "
-                << result.first_makespan << " -> best " << schedule.makespan << "\n";
+    std::optional<search::SearchTelemetry> telemetry;
+    if (searching) {
+      search::SearchOptions options;
+      options.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
+      options.iters = opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256);
+      options.seed = opt.seed;
+      options.jobs = opt.jobs;
+      search::SearchResult result = search::search_orders(sys, budget, options);
+      schedule = std::move(result.best);
+      telemetry = std::move(result.telemetry);
+      std::cerr << report::search_summary(*telemetry);
     } else {
       schedule = core::plan_tests(sys, budget);
     }
@@ -277,7 +304,7 @@ int main(int argc, char** argv) {
       }
     }
     if (opt.format == "json" || all) {
-      std::cout << report::schedule_json(sys, schedule);
+      std::cout << report::schedule_json(sys, schedule, telemetry ? &*telemetry : nullptr);
     }
     return 0;
   } catch (const std::exception& e) {
