@@ -6,18 +6,21 @@
 # iteration budget, so trajectories stay comparable across revisions
 # that change the search engine), and bench_search_quality's rows as a
 # "search_quality" array (strategy-vs-strategy best makespans at an
-# equal evaluation budget).  Used to record BENCH_headline.json data
-# points (locally and from CI).  Usage:
+# equal evaluation budget), and bench_fault_sweep's rows as a
+# "fault_sweep" array (incremental vs full-rebuild replanning
+# throughput).  Used to record BENCH_headline.json data points (locally
+# and from CI).  Usage:
 #   bench_headline_json.sh <path-to-bench_headline> [git-rev] \
 #     [path-to-bench_des_replay] [path-to-bench_multistart_perf] \
-#     [path-to-bench_search_quality]
+#     [path-to-bench_search_quality] [path-to-bench_fault_sweep]
 set -eu
 
-bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality]}
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality] [path-to-bench_fault_sweep]}
 rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
 des_bin=${3:-}
 msp_bin=${4:-}
 sq_bin=${5:-}
+fs_bin=${6:-}
 
 headline_out=$(mktemp)
 trap 'rm -f "$headline_out"' EXIT
@@ -96,6 +99,25 @@ if [ -n "$sq_bin" ]; then
     }' "$sq_out")
 fi
 
+fs_json=""
+if [ -n "$fs_bin" ]; then
+  fs_out=$(mktemp)
+  trap 'rm -f "$headline_out" "${des_out:-}" "${msp_out:-}" "${sq_out:-}" "$fs_out"' EXIT
+  "$fs_bin" > "$fs_out"
+  fs_json=$(awk '
+    /^FS / {
+      rows[++n] = sprintf(\
+        "    {\"soc\": \"%s\", \"procs\": %s, \"scenarios\": %s, \"rebuilt_avg\": %s, " \
+        "\"full_ms\": %s, \"incr_ms\": %s, \"table_speedup\": %s, " \
+        "\"replan_full_per_sec\": %s, \"replan_incr_per_sec\": %s}",
+        $2, $3, $4, $5, $6, $7, $8, $9, $10)
+    }
+    END {
+      if (n == 0) { print "bench_headline_json.sh: no FS rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$fs_out")
+fi
+
 printf '{\n  "bench": "headline",\n  "date": "%s",\n  "rev": "%s",\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rev"
 printf '  "claims": [\n%s\n  ]' "$claims_json"
@@ -107,5 +129,8 @@ if [ -n "$msp_json" ]; then
 fi
 if [ -n "$sq_json" ]; then
   printf ',\n  "search_quality": [\n%s\n  ]' "$sq_json"
+fi
+if [ -n "$fs_json" ]; then
+  printf ',\n  "fault_sweep": [\n%s\n  ]' "$fs_json"
 fi
 printf '\n}\n'

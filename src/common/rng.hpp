@@ -52,4 +52,13 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// RNG for stream `index` of a family seeded with `seed`: SplitMix-style
+/// golden-ratio stepping keeps the streams separated, and the state
+/// depends only on (seed, index) — never on thread or iteration order.
+/// One definition serves search chains, fault sweeps, and benches, so
+/// "scenario k of seed s" means the same thing everywhere.
+[[nodiscard]] inline Rng stream_rng(std::uint64_t seed, std::uint64_t index) {
+  return Rng(seed + 0x9E3779B97F4A7C15ULL * (index + 1));
+}
+
 }  // namespace nocsched

@@ -7,52 +7,188 @@
 
 namespace nocsched::core {
 
-PairTable::PairTable(const SystemModel& sys) {
+namespace {
+
+bool endpoint_failed(const Endpoint& ep, const noc::FaultSet& faults) {
+  return ep.is_processor() && faults.processor_failed(ep.processor_module);
+}
+
+// Nearest-first order and the cheapest-power summary are shared by the
+// from-scratch build and the incremental rebuild: the two paths promise
+// bit-identical tables, so there must be exactly one definition of
+// each.
+void sort_nearest_first(std::vector<PairChoice>& pairs) {
+  std::sort(pairs.begin(), pairs.end(), [](const PairChoice& a, const PairChoice& b) {
+    if (a.hops != b.hops) return a.hops < b.hops;
+    if (a.source != b.source) return a.source < b.source;
+    return a.sink < b.sink;
+  });
+}
+
+double cheapest_over(const std::vector<PairChoice>& pairs) {
+  double cheapest = std::numeric_limits<double>::infinity();
+  for (const PairChoice& p : pairs) cheapest = std::min(cheapest, p.plan.power);
+  return cheapest;
+}
+
+}  // namespace
+
+void PairTable::build_module(const SystemModel& sys, const itc02::Module& m,
+                             const noc::FaultSet* faults) {
+  std::vector<PairChoice>& pairs = by_module_[static_cast<std::size_t>(m.id - 1)];
+  pairs.clear();
   const std::vector<Endpoint>& eps = sys.endpoints();
   const bool cross = sys.params().allow_cross_pairing;
-  by_module_.reserve(sys.soc().modules.size());
-  cheapest_.reserve(sys.soc().modules.size());
-  for (const itc02::Module& m : sys.soc().modules) {
-    const noc::RouterId at = sys.router_of(m.id);
-    std::vector<PairChoice> pairs;
-    for (std::size_t s = 0; s < eps.size(); ++s) {
-      const Endpoint& src = eps[s];
-      if (!src.can_source()) continue;
-      if (src.is_processor() && src.processor_module == m.id) continue;
-      if (src.is_processor() && !fits_processor_memory(sys, m.id, src.cpu)) continue;
-      for (std::size_t k = 0; k < eps.size(); ++k) {
-        const Endpoint& snk = eps[k];
-        if (!snk.can_sink()) continue;
-        if (snk.is_processor() && snk.processor_module == m.id) continue;
-        if (snk.is_processor() && !fits_processor_memory(sys, m.id, snk.cpu)) continue;
-        if (s == k && !src.is_processor()) continue;  // only a CPU plays both roles
-        if (!cross && s != k && (src.is_processor() || snk.is_processor())) {
-          continue;  // default: ATE pair or one self-contained processor
-        }
-        PairChoice choice;
-        choice.source = s;
-        choice.sink = k;
-        choice.hops =
-            sys.mesh().hop_count(src.router, at) + sys.mesh().hop_count(at, snk.router);
+  const bool dead = faults != nullptr && m.is_processor && faults->processor_failed(m.id);
+  for (std::size_t s = 0; !dead && s < eps.size(); ++s) {
+    const Endpoint& src = eps[s];
+    if (!src.can_source()) continue;
+    if (src.is_processor() && src.processor_module == m.id) continue;
+    if (src.is_processor() && !fits_processor_memory(sys, m.id, src.cpu)) continue;
+    if (faults != nullptr && endpoint_failed(src, *faults)) continue;
+    for (std::size_t k = 0; k < eps.size(); ++k) {
+      const Endpoint& snk = eps[k];
+      if (!snk.can_sink()) continue;
+      if (snk.is_processor() && snk.processor_module == m.id) continue;
+      if (snk.is_processor() && !fits_processor_memory(sys, m.id, snk.cpu)) continue;
+      if (faults != nullptr && endpoint_failed(snk, *faults)) continue;
+      if (s == k && !src.is_processor()) continue;  // only a CPU plays both roles
+      if (!cross && s != k && (src.is_processor() || snk.is_processor())) {
+        continue;  // default: ATE pair or one self-contained processor
+      }
+      PairChoice choice;
+      choice.source = s;
+      choice.sink = k;
+      if (faults != nullptr) {
+        std::optional<SessionPlan> plan = plan_session(sys, m.id, src, snk, *faults);
+        if (!plan) continue;  // no surviving route under the faults
+        choice.plan = std::move(*plan);
+      } else {
         choice.plan = plan_session(sys, m.id, src, snk);
-        pairs.push_back(std::move(choice));
+      }
+      // Route hops, not Manhattan distance: identical for XY routes,
+      // and the honest locality metric for fault detours.
+      choice.hops =
+          static_cast<int>(choice.plan.path_in.size() + choice.plan.path_out.size());
+      pairs.push_back(std::move(choice));
+    }
+  }
+  sort_nearest_first(pairs);
+  cheapest_[static_cast<std::size_t>(m.id - 1)] = cheapest_over(pairs);
+}
+
+PairTable::PairTable(const SystemModel& sys) {
+  by_module_.resize(sys.soc().modules.size());
+  cheapest_.resize(sys.soc().modules.size());
+  for (const itc02::Module& m : sys.soc().modules) build_module(sys, m, nullptr);
+}
+
+PairTable::PairTable(const SystemModel& sys, const noc::FaultSet& faults) {
+  by_module_.resize(sys.soc().modules.size());
+  cheapest_.resize(sys.soc().modules.size());
+  for (const itc02::Module& m : sys.soc().modules) build_module(sys, m, &faults);
+}
+
+std::size_t PairTable::apply_faults(const SystemModel& sys, const noc::FaultSet& faults) {
+  ensure(by_module_.size() == sys.soc().modules.size(),
+         "PairTable::apply_faults: table was built from a different system");
+  if (faults.empty()) return 0;
+  const std::vector<Endpoint>& eps = sys.endpoints();
+  std::size_t rebuilt = 0;
+  for (const itc02::Module& m : sys.soc().modules) {
+    std::vector<PairChoice>& pairs = by_module_[static_cast<std::size_t>(m.id - 1)];
+    const bool dead = (m.is_processor && faults.processor_failed(m.id)) ||
+                      faults.router_failed(sys.router_of(m.id));
+    bool touched = dead;
+    for (std::size_t i = 0; !touched && i < pairs.size(); ++i) {
+      const PairChoice& p = pairs[i];
+      touched = endpoint_failed(eps[p.source], faults) ||
+                endpoint_failed(eps[p.sink], faults) ||
+                !faults.route_usable(sys.mesh(), p.plan.path_in) ||
+                !faults.route_usable(sys.mesh(), p.plan.path_out);
+    }
+    if (!touched) continue;
+    ++rebuilt;
+
+    // Surgical rebuild: a pair whose endpoints are alive and whose
+    // routes dodge the faults keeps its plan verbatim (fault_route
+    // would return the same routes, so this is bit-identical to the
+    // from-scratch build); only stale pairs are re-priced, dropping
+    // the ones the degraded mesh cannot serve at all.
+    std::vector<PairChoice> next;
+    if (!dead) {
+      next.reserve(pairs.size());
+      for (PairChoice& p : pairs) {
+        const Endpoint& src = eps[p.source];
+        const Endpoint& snk = eps[p.sink];
+        if (endpoint_failed(src, faults) || endpoint_failed(snk, faults)) continue;
+        if (faults.route_usable(sys.mesh(), p.plan.path_in) &&
+            faults.route_usable(sys.mesh(), p.plan.path_out)) {
+          next.push_back(std::move(p));
+          continue;
+        }
+        std::optional<SessionPlan> plan = plan_session(sys, m.id, src, snk, faults);
+        if (!plan) continue;
+        PairChoice detoured;
+        detoured.source = p.source;
+        detoured.sink = p.sink;
+        detoured.hops =
+            static_cast<int>(plan->path_in.size() + plan->path_out.size());
+        detoured.plan = std::move(*plan);
+        next.push_back(std::move(detoured));
+      }
+      sort_nearest_first(next);
+    }
+    pairs = std::move(next);
+    cheapest_[static_cast<std::size_t>(m.id - 1)] = cheapest_over(pairs);
+  }
+  return rebuilt;
+}
+
+std::vector<bool> PairTable::testable_modules(const SystemModel& sys,
+                                              double power_limit) const {
+  const std::vector<Endpoint>& eps = sys.endpoints();
+  std::vector<bool> testable(by_module_.size());
+  for (std::size_t i = 0; i < by_module_.size(); ++i) testable[i] = !by_module_[i].empty();
+  // Fixpoint: dropping a processor can strand the cores it exclusively
+  // served, which can strand further processors, and so on.  Terminates
+  // because bits only ever clear.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const itc02::Module& m : sys.soc().modules) {
+      const std::size_t i = static_cast<std::size_t>(m.id - 1);
+      if (!testable[i]) continue;
+      bool usable = false;
+      for (const PairChoice& p : by_module_[i]) {
+        if (p.plan.power > power_limit) continue;
+        bool servers_alive = true;
+        for (const std::size_t e : {p.source, p.sink}) {
+          const Endpoint& ep = eps[e];
+          if (ep.is_processor() &&
+              !testable[static_cast<std::size_t>(ep.processor_module - 1)]) {
+            servers_alive = false;
+            break;
+          }
+        }
+        if (servers_alive) {
+          usable = true;
+          break;
+        }
+      }
+      if (!usable) {
+        testable[i] = false;
+        changed = true;
       }
     }
-    std::sort(pairs.begin(), pairs.end(), [](const PairChoice& a, const PairChoice& b) {
-      if (a.hops != b.hops) return a.hops < b.hops;
-      if (a.source != b.source) return a.source < b.source;
-      return a.sink < b.sink;
-    });
-    double cheapest = std::numeric_limits<double>::infinity();
-    for (const PairChoice& p : pairs) cheapest = std::min(cheapest, p.plan.power);
-    by_module_.push_back(std::move(pairs));
-    cheapest_.push_back(cheapest);
   }
+  return testable;
 }
 
 std::span<const PairChoice> PairTable::pairs(int module_id) const {
   return by_module_[index_of(module_id)];
 }
+
+bool PairTable::has_pairs(int module_id) const { return !by_module_[index_of(module_id)].empty(); }
 
 double PairTable::cheapest_power(int module_id) const { return cheapest_[index_of(module_id)]; }
 

@@ -5,17 +5,26 @@
 // never on planner state or time — yet the planner used to rebuild and
 // re-sort the same candidate list (and re-derive the same SessionPlan)
 // on every probe of every module.  This table enumerates each module's
-// legal pairs once, nearest-first (total hops, then source index, then
-// sink index — exactly the order the planner's per-call enumeration
-// produced), with the session plan attached.  One table serves any
-// number of planner runs over the same system, including concurrent
-// multistart restarts: it is immutable after construction.
+// legal pairs once, nearest-first (total route hops, then source index,
+// then sink index — exactly the order the planner's per-call
+// enumeration produced), with the session plan attached.  One table
+// serves any number of planner runs over the same system, including
+// concurrent multistart restarts: it is immutable while shared.
+//
+// Fault-aware replanning builds the same table over a degraded system:
+// pairs whose endpoints died or whose routes cannot survive the fault
+// set disappear, and surviving pairs are priced over their fault-aware
+// (possibly detoured) routes.  apply_faults is the incremental path —
+// only modules whose existing pairs touch the fault set are
+// re-enumerated, and the result is bit-identical to a from-scratch
+// degraded build (asserted by the tests/fault property suite).
 
 #include <span>
 #include <vector>
 
 #include "core/session_model.hpp"
 #include "core/system_model.hpp"
+#include "noc/fault.hpp"
 
 namespace nocsched::core {
 
@@ -24,23 +33,59 @@ namespace nocsched::core {
 struct PairChoice {
   std::size_t source = 0;
   std::size_t sink = 0;
-  int hops = 0;      ///< source->core + core->sink Manhattan hops
+  int hops = 0;      ///< source->core + core->sink route hops
   SessionPlan plan;  ///< time-invariant cost of this session
+
+  friend bool operator==(const PairChoice&, const PairChoice&) = default;
 };
 
 class PairTable {
  public:
+  /// Pairs of the pristine system (XY routes, every endpoint alive).
   explicit PairTable(const SystemModel& sys);
+
+  /// Pairs of the degraded system: from-scratch build under `faults`.
+  PairTable(const SystemModel& sys, const noc::FaultSet& faults);
+
+  /// Incrementally degrade this table to `faults`: re-enumerate only
+  /// the modules whose current pairs touch the fault set (a failed
+  /// endpoint, a failed router on either route, the module's own or an
+  /// endpoint's router, or the module itself dying).  Requires the
+  /// table to have been built from `sys` under a subset of `faults`
+  /// (the pristine table qualifies); afterwards the table is
+  /// bit-identical to PairTable(sys, faults).  Returns the number of
+  /// modules re-enumerated — the quantity the incremental path saves.
+  std::size_t apply_faults(const SystemModel& sys, const noc::FaultSet& faults);
 
   /// Legal pairs for `module_id`, nearest-first.
   [[nodiscard]] std::span<const PairChoice> pairs(int module_id) const;
+
+  /// True when the module has at least one legal pair (always, on a
+  /// pristine feasible system; under faults a module with no surviving
+  /// pair is untestable and must be excluded from planning).
+  [[nodiscard]] bool has_pairs(int module_id) const;
 
   /// Smallest session power over the module's pairs (infinity when the
   /// module has no legal pair) — the feasibility-precheck input.
   [[nodiscard]] double cheapest_power(int module_id) const;
 
+  friend bool operator==(const PairTable&, const PairTable&) = default;
+
+  /// Which modules the planner can actually schedule from this table
+  /// under a peak-power limit, indexed by module id - 1.  A module is
+  /// testable when it has at least one *usable* pair: session power
+  /// within `power_limit`, and every processor endpoint itself
+  /// testable — a processor that lost its own test can never serve, so
+  /// losses cascade to the cores it exclusively served (computed as a
+  /// fixpoint).  The fault-aware replanner plans exactly this set and
+  /// reports the complement instead of letting the planner get stuck.
+  [[nodiscard]] std::vector<bool> testable_modules(const SystemModel& sys,
+                                                   double power_limit) const;
+
  private:
   [[nodiscard]] std::size_t index_of(int module_id) const;
+  void build_module(const SystemModel& sys, const itc02::Module& m,
+                    const noc::FaultSet* faults);
 
   std::vector<std::vector<PairChoice>> by_module_;  // module id - 1 (ids are 1..N)
   std::vector<double> cheapest_;

@@ -86,12 +86,15 @@ class Planner {
       rs.available_from = ep.is_processor() ? kNever : 0;
       resources_.push_back(std::move(rs));
     }
-    // Feasibility precheck: every core must have at least one pair whose
-    // session power fits the budget in isolation.
-    for (const itc02::Module& m : sys_.soc().modules) {
-      const double cheapest = table_.cheapest_power(m.id);
-      ensure(cheapest <= budget_.limit, "infeasible: module ", m.id, " ('", m.name,
-             "') needs at least ", cheapest, " power but the budget is ", budget_.limit);
+    // Feasibility precheck: every core offered for planning must have at
+    // least one pair whose session power fits the budget in isolation.
+    // (Iterating the order — not the SoC — is what lets the fault-aware
+    // replanner plan a surviving subset; for a full order they agree.)
+    for (const int id : order_) {
+      const double cheapest = table_.cheapest_power(id);
+      ensure(cheapest <= budget_.limit, "infeasible: module ", id, " ('",
+             sys_.soc().module(id).name, "') needs at least ", cheapest,
+             " power but the budget is ", budget_.limit);
     }
   }
 
@@ -316,11 +319,14 @@ class Planner {
 
 }  // namespace
 
-std::vector<bool> cpu_eligible_modules(const SystemModel& sys) {
+namespace {
+
+std::vector<bool> cpu_eligible_impl(const SystemModel& sys, const noc::FaultSet* faults) {
   std::vector<bool> eligible(sys.soc().modules.size(), false);
   for (const itc02::Module& m : sys.soc().modules) {
     for (const Endpoint& ep : sys.endpoints()) {
       if (!ep.is_processor() || ep.processor_module == m.id) continue;
+      if (faults != nullptr && faults->processor_failed(ep.processor_module)) continue;
       if (fits_processor_memory(sys, m.id, ep.cpu)) {
         eligible[static_cast<std::size_t>(m.id - 1)] = true;  // ids are 1..N
         break;
@@ -330,18 +336,26 @@ std::vector<bool> cpu_eligible_modules(const SystemModel& sys) {
   return eligible;
 }
 
-std::vector<int> priority_order(const SystemModel& sys) {
+}  // namespace
+
+std::vector<bool> cpu_eligible_modules(const SystemModel& sys) {
+  return cpu_eligible_impl(sys, nullptr);
+}
+
+std::vector<bool> cpu_eligible_modules(const SystemModel& sys, const noc::FaultSet& faults) {
+  return cpu_eligible_impl(sys, &faults);
+}
+
+std::vector<int> priority_order(const SystemModel& sys, const std::vector<bool>& eligible,
+                                const std::vector<bool>& include) {
+  ensure(eligible.size() == sys.soc().modules.size() &&
+             include.size() == sys.soc().modules.size(),
+         "priority_order: bitmap sizes must match the module count");
   std::vector<int> ids;
   ids.reserve(sys.soc().modules.size());
-  for (const itc02::Module& m : sys.soc().modules) ids.push_back(m.id);
-
-  // A core is "flexible" if at least one processor in the system has
-  // the memory to test it; inflexible cores can only use the external
-  // tester, so they get the ATE first (machine-eligibility list
-  // scheduling: the constrained jobs seed the constrained machine).
-  // Computed once as a bitmap: the comparator runs O(n log n) times and
-  // must not rescan every endpoint (and every wrapper phase) per call.
-  const std::vector<bool> eligible = cpu_eligible_modules(sys);
+  for (const itc02::Module& m : sys.soc().modules) {
+    if (include[static_cast<std::size_t>(m.id - 1)]) ids.push_back(m.id);
+  }
 
   const PlannerParams& p = sys.params();
   auto key_less = [&](int a, int b) {
@@ -382,6 +396,17 @@ std::vector<int> priority_order(const SystemModel& sys) {
   return ids;
 }
 
+std::vector<int> priority_order(const SystemModel& sys) {
+  // A core is "flexible" if at least one processor in the system has
+  // the memory to test it; inflexible cores can only use the external
+  // tester, so they get the ATE first (machine-eligibility list
+  // scheduling: the constrained jobs seed the constrained machine).
+  // Computed once as a bitmap: the comparator runs O(n log n) times and
+  // must not rescan every endpoint (and every wrapper phase) per call.
+  return priority_order(sys, cpu_eligible_modules(sys),
+                        std::vector<bool>(sys.soc().modules.size(), true));
+}
+
 Schedule plan_tests(const SystemModel& sys, const power::PowerBudget& budget) {
   const PairTable pairs(sys);
   return Planner(sys, budget, priority_order(sys), pairs).run();
@@ -403,6 +428,19 @@ Schedule plan_tests_with_order(const SystemModel& sys, const power::PowerBudget&
   for (const itc02::Module& m : sys.soc().modules) expected.push_back(m.id);
   ensure(sorted == expected,
          "plan_tests_with_order: order must be a permutation of all module ids");
+  return Planner(sys, budget, order, pairs).run();
+}
+
+Schedule plan_tests_subset(const SystemModel& sys, const power::PowerBudget& budget,
+                           const std::vector<int>& order, const PairTable& pairs) {
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    ensure(sorted[i] >= 1 && static_cast<std::size_t>(sorted[i]) <= sys.soc().modules.size(),
+           "plan_tests_subset: unknown module id ", sorted[i]);
+    ensure(i == 0 || sorted[i] != sorted[i - 1], "plan_tests_subset: module ", sorted[i],
+           " appears twice in the order");
+  }
   return Planner(sys, budget, order, pairs).run();
 }
 

@@ -23,6 +23,7 @@
 #include "core/schedule.hpp"
 #include "core/session_model.hpp"
 #include "core/system_model.hpp"
+#include "noc/fault.hpp"
 #include "power/budget.hpp"
 
 namespace nocsched::core {
@@ -36,12 +37,26 @@ namespace nocsched::core {
 /// exposed for tests and reporting.
 [[nodiscard]] std::vector<int> priority_order(const SystemModel& sys);
 
+/// Priority order restricted to the modules whose `include` bit (by
+/// module id - 1) is set, sorting with a caller-supplied eligibility
+/// bitmap — the fault-aware replanner orders only the surviving,
+/// still-testable modules and masks dead processors out of the
+/// eligibility it sorts by.
+[[nodiscard]] std::vector<int> priority_order(const SystemModel& sys,
+                                              const std::vector<bool>& eligible,
+                                              const std::vector<bool>& include);
+
 /// Per-module CPU-eligibility bitmap, indexed by module id - 1: true
 /// when at least one *other* processor has the memory to run the
 /// module's test.  Shared by priority_order's comparator and the
 /// multistart tier partition, both of which used to rescan every
 /// endpoint per query.
 [[nodiscard]] std::vector<bool> cpu_eligible_modules(const SystemModel& sys);
+
+/// As above on the degraded system: processors named in `faults` are
+/// dead and count for no module's eligibility.
+[[nodiscard]] std::vector<bool> cpu_eligible_modules(const SystemModel& sys,
+                                                     const noc::FaultSet& faults);
 
 /// Plan with an explicit module order (must be a permutation of all
 /// module ids); only the offer sequence changes, every feasibility rule
@@ -60,5 +75,15 @@ namespace nocsched::core {
                                              const power::PowerBudget& budget,
                                              const std::vector<int>& order,
                                              const PairTable& pairs);
+
+/// Plan only the modules named in `order` (distinct, valid ids; not
+/// necessarily all of them) — the fault-aware replanner's entry: dead
+/// or unroutable modules are simply absent, and a processor whose own
+/// test is absent never becomes a resource.  `pairs` decides which
+/// interface pairs exist (build it from the degraded system).
+[[nodiscard]] Schedule plan_tests_subset(const SystemModel& sys,
+                                         const power::PowerBudget& budget,
+                                         const std::vector<int>& order,
+                                         const PairTable& pairs);
 
 }  // namespace nocsched::core

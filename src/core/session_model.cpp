@@ -7,8 +7,10 @@
 
 namespace nocsched::core {
 
-SessionPlan plan_session(const SystemModel& sys, int module_id, const Endpoint& source,
-                         const Endpoint& sink) {
+SessionPlan plan_session_with_paths(const SystemModel& sys, int module_id,
+                                    const Endpoint& source, const Endpoint& sink,
+                                    std::vector<noc::ChannelId> path_in,
+                                    std::vector<noc::ChannelId> path_out) {
   ensure(source.can_source(), "plan_session: ", source.name(), " cannot act as a source");
   ensure(sink.can_sink(), "plan_session: ", sink.name(), " cannot act as a sink");
   const itc02::Module& module = sys.soc().module(module_id);
@@ -18,13 +20,12 @@ SessionPlan plan_session(const SystemModel& sys, int module_id, const Endpoint& 
          "plan_session: processor ", module_id, " cannot sink its own test");
 
   const noc::Characterization& nc = sys.params().noc;
-  const noc::RouterId core_router = sys.router_of(module_id);
   const bool same_cpu = source.is_processor() && sink.is_processor() &&
                         source.processor_module == sink.processor_module;
 
   SessionPlan plan;
-  plan.path_in = noc::xy_route(sys.mesh(), source.router, core_router);
-  plan.path_out = noc::xy_route(sys.mesh(), core_router, sink.router);
+  plan.path_in = std::move(path_in);
+  plan.path_out = std::move(path_out);
   const int h_in = static_cast<int>(plan.path_in.size());
   const int h_out = static_cast<int>(plan.path_out.size());
 
@@ -85,6 +86,34 @@ SessionPlan plan_session(const SystemModel& sys, int module_id, const Endpoint& 
   if (source.is_processor()) plan.power += sys.params().rates(source.cpu).active_power;
   if (sink.is_processor() && !same_cpu) plan.power += sys.params().rates(sink.cpu).active_power;
   return plan;
+}
+
+SessionPlan plan_session(const SystemModel& sys, int module_id, const Endpoint& source,
+                         const Endpoint& sink) {
+  const noc::RouterId at = sys.router_of(module_id);
+  return plan_session_with_paths(sys, module_id, source, sink,
+                                 noc::xy_route(sys.mesh(), source.router, at),
+                                 noc::xy_route(sys.mesh(), at, sink.router));
+}
+
+std::optional<SessionPlan> plan_session(const SystemModel& sys, int module_id,
+                                        const Endpoint& source, const Endpoint& sink,
+                                        const noc::FaultSet& faults) {
+  if (faults.processor_failed(module_id) && sys.soc().module(module_id).is_processor) {
+    return std::nullopt;  // the module itself is dead — nothing to test
+  }
+  for (const Endpoint* ep : {&source, &sink}) {
+    if (ep->is_processor() && faults.processor_failed(ep->processor_module)) {
+      return std::nullopt;
+    }
+  }
+  const noc::RouterId at = sys.router_of(module_id);
+  auto path_in = noc::fault_route(sys.mesh(), faults, source.router, at);
+  if (!path_in) return std::nullopt;
+  auto path_out = noc::fault_route(sys.mesh(), faults, at, sink.router);
+  if (!path_out) return std::nullopt;
+  return plan_session_with_paths(sys, module_id, source, sink, std::move(*path_in),
+                                 std::move(*path_out));
 }
 
 std::uint64_t bist_memory_bytes(const SystemModel& sys, int module_id,

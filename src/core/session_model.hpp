@@ -18,9 +18,11 @@
 // processor plays both roles).
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/system_model.hpp"
+#include "noc/fault.hpp"
 #include "noc/routing.hpp"
 
 namespace nocsched::core {
@@ -35,12 +37,32 @@ struct SessionPlan {
   /// (flits per cycle, worst phase), for ChannelModel::kMultiplexed.
   double bandwidth_in = 0.0;
   double bandwidth_out = 0.0;
+
+  friend bool operator==(const SessionPlan&, const SessionPlan&) = default;
 };
 
 /// Compute the plan for testing `module_id` from `source` to `sink`.
 /// `source.can_source()` and `sink.can_sink()` must hold.
 [[nodiscard]] SessionPlan plan_session(const SystemModel& sys, int module_id,
                                        const Endpoint& source, const Endpoint& sink);
+
+/// As above, but priced over explicit NoC paths instead of the XY
+/// routes (the cost model depends on routes only through their length,
+/// so detours lengthen setup and transport power consistently).  The
+/// pristine plan_session is exactly this with the two XY routes.
+[[nodiscard]] SessionPlan plan_session_with_paths(const SystemModel& sys, int module_id,
+                                                  const Endpoint& source, const Endpoint& sink,
+                                                  std::vector<noc::ChannelId> path_in,
+                                                  std::vector<noc::ChannelId> path_out);
+
+/// Fault-aware session plan: routes via noc::fault_route over the
+/// degraded mesh.  Returns nullopt when the session cannot exist under
+/// `faults` — the module under test, the source, or the sink is a
+/// failed processor, or no surviving route connects the endpoints.
+[[nodiscard]] std::optional<SessionPlan> plan_session(const SystemModel& sys, int module_id,
+                                                      const Endpoint& source,
+                                                      const Endpoint& sink,
+                                                      const noc::FaultSet& faults);
 
 /// Local memory the software-BIST application needs on a processor of
 /// `kind` to test `module_id`: the kernel program, its parameter block,

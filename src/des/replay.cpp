@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
 
 #include "common/error.hpp"
 #include "core/session_model.hpp"
@@ -132,11 +133,15 @@ std::uint64_t ceil_cycles(double v) {
 
 class Replayer {
  public:
-  Replayer(const core::SystemModel& sys, const core::Schedule& schedule)
-      : sys_(sys), schedule_(schedule), channels_(sys.mesh().channel_count()) {
+  Replayer(const core::SystemModel& sys, const core::Schedule& schedule,
+           const noc::FaultSet* faults)
+      : sys_(sys), schedule_(schedule), faults_(faults),
+        channels_(sys.mesh().channel_count()) {
     endpoint_busy_.assign(sys_.endpoints().size(), false);
     build_sessions();
   }
+
+  [[nodiscard]] std::vector<LostSession> take_lost() { return std::move(lost_); }
 
   SimTrace run() {
     for (std::size_t i = 0; i < sessions_.size(); ++i) {
@@ -159,10 +164,51 @@ class Replayer {
  private:
   // ----- setup ----------------------------------------------------------
 
+  /// Both fault-aware legs of a surviving session, computed once during
+  /// loss detection and consumed when the SessionState is built.
+  struct FaultRoutes {
+    std::vector<noc::ChannelId> in;
+    std::vector<noc::ChannelId> out;
+  };
+
+  /// Why `planned` cannot run on the degraded mesh (empty = it can,
+  /// and `routes` holds its legs): its module or an endpoint is a dead
+  /// processor, or a leg has no surviving route.  The transitive
+  /// serving-processor losses are cascaded by build_sessions after
+  /// every direct loss is known.
+  std::string direct_loss_reason(const core::Session& planned, FaultRoutes& routes) const {
+    const auto& endpoints = sys_.endpoints();
+    const core::Endpoint& src = endpoints[static_cast<std::size_t>(planned.source_resource)];
+    const core::Endpoint& snk = endpoints[static_cast<std::size_t>(planned.sink_resource)];
+    if (sys_.soc().module(planned.module_id).is_processor &&
+        faults_->processor_failed(planned.module_id)) {
+      return cat("module ", planned.module_id, " is a failed processor");
+    }
+    if (src.is_processor() && faults_->processor_failed(src.processor_module)) {
+      return cat("source processor ", src.processor_module, " failed");
+    }
+    if (snk.is_processor() && faults_->processor_failed(snk.processor_module)) {
+      return cat("sink processor ", snk.processor_module, " failed");
+    }
+    const noc::RouterId at = sys_.router_of(planned.module_id);
+    auto in = noc::fault_route(sys_.mesh(), *faults_, src.router, at);
+    if (!in) {
+      return cat("no surviving route from ", src.name(), " to the core");
+    }
+    auto out = noc::fault_route(sys_.mesh(), *faults_, at, snk.router);
+    if (!out) {
+      return cat("no surviving route from the core to ", snk.name());
+    }
+    routes.in = std::move(*in);
+    routes.out = std::move(*out);
+    return {};
+  }
+
   void build_sessions() {
     const auto& endpoints = sys_.endpoints();
     const noc::Characterization& nc = sys_.params().noc;
     const double fc = static_cast<double>(nc.flow_control_latency);
+
     for (const core::Session& planned : schedule_.sessions) {
       ensure(planned.source_resource >= 0 &&
                  static_cast<std::size_t>(planned.source_resource) < endpoints.size() &&
@@ -173,6 +219,49 @@ class Replayer {
       const core::Endpoint& snk = endpoints[static_cast<std::size_t>(planned.sink_resource)];
       ensure(src.can_source() && snk.can_sink(), "replay: module ", planned.module_id,
              ": illegal endpoint roles");
+    }
+
+    // Which planned sessions the faults kill: the direct losses, then
+    // the cascade — a session whose serving processor lost its own test
+    // can never launch (the replay gates on processor_done).
+    std::map<int, std::string> lost_reason;   // module id -> why
+    std::map<int, FaultRoutes> fault_routes;  // module id -> surviving legs
+    if (faults_ != nullptr) {
+      for (const core::Session& planned : schedule_.sessions) {
+        FaultRoutes routes;
+        std::string reason = direct_loss_reason(planned, routes);
+        if (!reason.empty()) {
+          lost_reason.emplace(planned.module_id, std::move(reason));
+        } else {
+          fault_routes.emplace(planned.module_id, std::move(routes));
+        }
+      }
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (const core::Session& planned : schedule_.sessions) {
+          if (lost_reason.count(planned.module_id) != 0) continue;
+          for (int r : {planned.source_resource, planned.sink_resource}) {
+            const core::Endpoint& ep = endpoints[static_cast<std::size_t>(r)];
+            if (ep.is_processor() && lost_reason.count(ep.processor_module) != 0) {
+              lost_reason.emplace(planned.module_id,
+                                  cat("serving processor ", ep.processor_module,
+                                      " lost its own test"));
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+      for (const core::Session& planned : schedule_.sessions) {
+        const auto it = lost_reason.find(planned.module_id);
+        if (it != lost_reason.end()) lost_.push_back({planned.module_id, it->second});
+      }
+    }
+
+    for (const core::Session& planned : schedule_.sessions) {
+      if (faults_ != nullptr && lost_reason.count(planned.module_id) != 0) continue;
+      const core::Endpoint& src = endpoints[static_cast<std::size_t>(planned.source_resource)];
+      const core::Endpoint& snk = endpoints[static_cast<std::size_t>(planned.sink_resource)];
 
       SessionState s;
       s.module_id = planned.module_id;
@@ -182,8 +271,15 @@ class Replayer {
       s.planned_end = planned.end;
       s.power = planned.power;
       const noc::RouterId at = sys_.router_of(planned.module_id);
-      s.path_in = noc::xy_route(sys_.mesh(), src.router, at);
-      s.path_out = noc::xy_route(sys_.mesh(), at, snk.router);
+      if (faults_ != nullptr) {
+        // Present by construction: unroutable sessions were lost above.
+        FaultRoutes& routes = fault_routes.at(planned.module_id);
+        s.path_in = std::move(routes.in);
+        s.path_out = std::move(routes.out);
+      } else {
+        s.path_in = noc::xy_route(sys_.mesh(), src.router, at);
+        s.path_out = noc::xy_route(sys_.mesh(), at, snk.router);
+      }
       s.setup = nc.path_setup_cycles(static_cast<int>(s.path_in.size())) +
                 nc.path_setup_cycles(static_cast<int>(s.path_out.size()));
       s.same_cpu = src.is_processor() && snk.is_processor() &&
@@ -628,6 +724,8 @@ class Replayer {
 
   const core::SystemModel& sys_;
   const core::Schedule& schedule_;
+  const noc::FaultSet* faults_ = nullptr;
+  std::vector<LostSession> lost_;
   std::vector<SessionState> sessions_;
   std::vector<ChannelState> channels_;
   std::vector<Worm> worms_;
@@ -644,7 +742,16 @@ class Replayer {
 }  // namespace
 
 SimTrace replay(const core::SystemModel& sys, const core::Schedule& schedule) {
-  return Replayer(sys, schedule).run();
+  return Replayer(sys, schedule, nullptr).run();
+}
+
+DegradedReplay replay_degraded(const core::SystemModel& sys, const core::Schedule& schedule,
+                               const noc::FaultSet& faults) {
+  Replayer replayer(sys, schedule, &faults);
+  DegradedReplay result;
+  result.trace = replayer.run();
+  result.lost = replayer.take_lost();
+  return result;
 }
 
 }  // namespace nocsched::des

@@ -42,13 +42,42 @@
 // nocsched::Error on structurally broken input (bad resource indices,
 // unknown modules, or a plan whose dependencies can never be met).
 
+#include <string>
+#include <vector>
+
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
 #include "des/trace.hpp"
+#include "noc/fault.hpp"
 
 namespace nocsched::des {
 
 /// Replay `schedule` on `sys` and return the observed trace.
 [[nodiscard]] SimTrace replay(const core::SystemModel& sys, const core::Schedule& schedule);
+
+/// A planned session the degraded mesh cannot run at all.
+struct LostSession {
+  int module_id = 0;
+  std::string reason;
+};
+
+/// Result of replaying a plan on a mesh with faults: the sessions that
+/// could still run (possibly detoured and delayed), and the ones that
+/// could not.
+struct DegradedReplay {
+  SimTrace trace;                 ///< surviving sessions only
+  std::vector<LostSession> lost;  ///< plan order (start, module id)
+};
+
+/// Replay `schedule` — planned for the pristine system — on `sys`
+/// degraded by `faults`.  Sessions are routed fault-aware
+/// (noc::fault_route), so a detour costs extra setup hops and real
+/// channel contention; a session is lost when its module or an endpoint
+/// is a dead processor, no surviving route connects its endpoints, or
+/// the processor serving it lost its own test (transitively).  Lost
+/// sessions never launch, draw no power, and hold no channels.
+[[nodiscard]] DegradedReplay replay_degraded(const core::SystemModel& sys,
+                                             const core::Schedule& schedule,
+                                             const noc::FaultSet& faults);
 
 }  // namespace nocsched::des

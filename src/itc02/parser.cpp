@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <optional>
+#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -54,11 +55,35 @@ std::optional<std::string_view> find_value(const Line& line, std::size_t from,
   return std::nullopt;
 }
 
-std::uint64_t require_u64(const Line& line, std::size_t from, std::string_view key) {
+// Parse a non-negative integer no larger than `max`, reporting junk,
+// sign, and overflow with the line number.  Every count in a .soc file
+// goes through here: the model stores 32-bit counts, so an unchecked
+// static_cast would silently truncate absurd inputs into plausible
+// small numbers.
+std::uint64_t checked_u64(const Line& line, std::string_view value, std::string_view what,
+                          std::uint64_t max) {
+  std::uint64_t v = 0;
+  try {
+    v = parse_u64(value, what);
+  } catch (const Error& e) {
+    syntax_error(line, e.what());
+  }
+  if (v > max) {
+    syntax_error(line, cat(std::string(what), " value ", v, " is out of range (max ", max, ")"));
+  }
+  return v;
+}
+
+std::uint64_t require_u64(const Line& line, std::size_t from, std::string_view key,
+                          std::uint64_t max) {
   const auto v = find_value(line, from, key);
   if (!v) syntax_error(line, cat("missing '", std::string(key), "' field"));
-  return parse_u64(*v, key);
+  return checked_u64(line, *v, key, max);
 }
+
+constexpr std::uint64_t kMaxU32 = 0xFFFFFFFFULL;
+constexpr std::uint64_t kMaxModuleId = 1'000'000;  // sanity cap, also fits int
+constexpr std::uint64_t kMaxScanChains = 100'000;  // one line must list them all
 
 }  // namespace
 
@@ -98,12 +123,13 @@ Soc parse(std::string_view text) {
   if (i < lines.size() && lines[i].tokens[0] == "TotalModules") {
     const Line& l = lines[i];
     if (l.tokens.size() != 2) syntax_error(l, "expected 'TotalModules <N>'");
-    declared_modules = parse_u64(l.tokens[1], "TotalModules");
+    declared_modules = checked_u64(l, l.tokens[1], "TotalModules", kMaxModuleId);
     saw_total = true;
     ++i;
   }
 
   // Module blocks.
+  std::set<int> seen_ids;
   while (i < lines.size()) {
     const Line& header = lines[i];
     if (header.tokens[0] != "Module") {
@@ -111,17 +137,25 @@ Soc parse(std::string_view text) {
     }
     if (header.tokens.size() < 2) syntax_error(header, "missing module id");
     Module m;
-    m.id = static_cast<int>(parse_u64(header.tokens[1], "module id"));
+    m.id = static_cast<int>(checked_u64(header, header.tokens[1], "module id", kMaxModuleId));
+    if (m.id < 1) syntax_error(header, "module ids start at 1");
+    if (!seen_ids.insert(m.id).second) {
+      syntax_error(header, cat("duplicate module id ", m.id));
+    }
     if (header.tokens.size() < 3) syntax_error(header, "missing module name");
     m.name = std::string(header.tokens[2]);
-    m.inputs = static_cast<std::uint32_t>(require_u64(header, 3, "Inputs"));
-    m.outputs = static_cast<std::uint32_t>(require_u64(header, 3, "Outputs"));
-    m.bidirs = static_cast<std::uint32_t>(require_u64(header, 3, "Bidirs"));
+    m.inputs = static_cast<std::uint32_t>(require_u64(header, 3, "Inputs", kMaxU32));
+    m.outputs = static_cast<std::uint32_t>(require_u64(header, 3, "Outputs", kMaxU32));
+    m.bidirs = static_cast<std::uint32_t>(require_u64(header, 3, "Bidirs", kMaxU32));
     const auto power = find_value(header, 3, "TestPower");
     if (!power) syntax_error(header, "missing 'TestPower' field");
-    m.test_power = parse_double(*power, "TestPower");
+    try {
+      m.test_power = parse_double(*power, "TestPower");
+    } catch (const Error& e) {
+      syntax_error(header, e.what());
+    }
     if (const auto proc = find_value(header, 3, "Processor")) {
-      m.is_processor = parse_u64(*proc, "Processor") != 0;
+      m.is_processor = checked_u64(header, *proc, "Processor", kMaxU32) != 0;
     }
     ++i;
 
@@ -131,14 +165,16 @@ Soc parse(std::string_view text) {
       const Line& l = lines[i];
       if (l.tokens[0] != "ScanChains") syntax_error(l, "expected 'ScanChains'");
       if (l.tokens.size() < 2) syntax_error(l, "missing scan chain count");
-      const auto count = parse_u64(l.tokens[1], "ScanChains count");
+      // The count is bounded before any arithmetic: a huge count would
+      // overflow `count + 3` below and index out of the token vector.
+      const auto count = checked_u64(l, l.tokens[1], "ScanChains count", kMaxScanChains);
       if (count > 0) {
         if (l.tokens.size() != count + 3 || l.tokens[2] != ":") {
           syntax_error(l, cat("expected 'ScanChains ", count, " : <", count, " lengths>'"));
         }
         for (std::size_t k = 0; k < count; ++k) {
-          m.scan_chains.push_back(
-              static_cast<std::uint32_t>(parse_u64(l.tokens[3 + k], "scan chain length")));
+          m.scan_chains.push_back(static_cast<std::uint32_t>(
+              checked_u64(l, l.tokens[3 + k], "scan chain length", kMaxU32)));
         }
       } else if (l.tokens.size() != 2) {
         syntax_error(l, "'ScanChains 0' takes no lengths");
@@ -150,8 +186,8 @@ Soc parse(std::string_view text) {
     while (i < lines.size() && lines[i].tokens[0] == "Test") {
       const Line& l = lines[i];
       CoreTest t;
-      t.patterns = static_cast<std::uint32_t>(require_u64(l, 2, "Patterns"));
-      t.uses_scan = require_u64(l, 2, "ScanUse") != 0;
+      t.patterns = static_cast<std::uint32_t>(require_u64(l, 2, "Patterns", kMaxU32));
+      t.uses_scan = require_u64(l, 2, "ScanUse", kMaxU32) != 0;
       m.tests.push_back(t);
       ++i;
     }

@@ -1,0 +1,90 @@
+#pragma once
+// Fault sets and fault-aware routing.
+//
+// A production test controller must keep working when parts of the
+// access mechanism die mid-session: a directed channel, a whole router,
+// or a reused embedded processor.  FaultSet records what is broken;
+// fault_route answers how test data still gets across the degraded
+// mesh.  Routing stays byte-reproducible: the XY route is used whenever
+// it survives the faults (so fault-free traffic is routed exactly as
+// before), and otherwise the unique lexicographically-smallest shortest
+// path over the surviving channel graph is taken (BFS distances, then a
+// forward walk that always picks the lowest usable channel id that
+// still decreases the distance).
+//
+// Processor faults carry no routing meaning at this layer — the ids are
+// opaque module numbers that core::PairTable and the replanner use to
+// mask dead processors out of the endpoint set — but they live here so
+// one FaultSet describes a whole degraded system.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/mesh.hpp"
+
+namespace nocsched::noc {
+
+/// What is broken: directed channels, routers, and (by module id)
+/// reused processors.  Immutable views are sorted and deduplicated, so
+/// two FaultSets with the same faults compare equal and serialize
+/// identically regardless of insertion order.
+class FaultSet {
+ public:
+  void fail_channel(ChannelId c);
+  void fail_router(RouterId r);
+  void fail_processor(int module_id);
+
+  [[nodiscard]] bool channel_failed(ChannelId c) const;
+  [[nodiscard]] bool router_failed(RouterId r) const;
+  [[nodiscard]] bool processor_failed(int module_id) const;
+
+  /// A channel is usable only when neither it nor either endpoint
+  /// router has failed.
+  [[nodiscard]] bool channel_usable(const Mesh& mesh, ChannelId c) const;
+
+  /// True when every channel of `path` is usable.
+  [[nodiscard]] bool route_usable(const Mesh& mesh, std::span<const ChannelId> path) const;
+
+  [[nodiscard]] bool empty() const {
+    return channels_.empty() && routers_.empty() && processors_.empty();
+  }
+
+  [[nodiscard]] const std::vector<ChannelId>& failed_channels() const { return channels_; }
+  [[nodiscard]] const std::vector<RouterId>& failed_routers() const { return routers_; }
+  [[nodiscard]] const std::vector<int>& failed_processors() const { return processors_; }
+
+  /// Human-readable summary, e.g. "links {3, 7}, routers {}, procs {12}".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const FaultSet&, const FaultSet&) = default;
+
+ private:
+  std::vector<ChannelId> channels_;  // sorted, unique
+  std::vector<RouterId> routers_;
+  std::vector<int> processors_;
+};
+
+/// Fault-aware route from `from` to `to`: the XY route when it survives
+/// `faults`, otherwise the lexicographically-smallest (by channel id)
+/// shortest path over the surviving channel graph.  Empty when
+/// `from == to` (local ports are never shared mesh resources).  Returns
+/// nullopt when either endpoint router has failed or no surviving path
+/// exists.  The result never traverses a failed channel or a channel
+/// touching a failed router.
+[[nodiscard]] std::optional<std::vector<ChannelId>> fault_route(const Mesh& mesh,
+                                                                const FaultSet& faults,
+                                                                RouterId from, RouterId to);
+
+/// One random fault scenario for sweeps and property tests: exactly one
+/// uniformly random directed channel fails, and — when the system has
+/// processors — a fair coin decides whether one uniformly random
+/// processor dies with it.  Deterministic in the Rng state; meshes with
+/// no channels (1x1) yield processor-only or empty scenarios.
+[[nodiscard]] FaultSet random_fault_scenario(const Mesh& mesh,
+                                             std::span<const int> processor_ids, Rng& rng);
+
+}  // namespace nocsched::noc

@@ -1,0 +1,39 @@
+#pragma once
+// Renderings of a fault scenario: what broke, how the existing plan
+// holds up on the degraded mesh (sim::assess_robustness), and what the
+// fault-aware replan recovered.  Same three surfaces as every other
+// report — human table, CSV rows, stable JSON.
+
+#include <string>
+
+#include "core/system_model.hpp"
+#include "noc/fault.hpp"
+#include "search/replan.hpp"
+#include "sim/robustness.hpp"
+
+namespace nocsched::report {
+
+/// Per-session fate table with the fault set and the headline metrics
+/// (sessions lost, makespan stretch), plus the replan outcome when one
+/// is supplied.
+[[nodiscard]] std::string robustness_table(const core::SystemModel& sys,
+                                           const noc::FaultSet& faults,
+                                           const sim::RobustnessReport& robustness,
+                                           const search::ReplanResult* replan = nullptr);
+
+/// One CSV row per planned session:
+/// module,name,fate,baseline_start,baseline_end,degraded_start,
+/// degraded_end,delay,reason
+[[nodiscard]] std::string robustness_csv(const core::SystemModel& sys,
+                                         const sim::RobustnessReport& robustness);
+
+/// JSON object with "faults", "robustness" (summary + sessions), and —
+/// when a replan is supplied — a "replan" object (makespan, losses,
+/// pairs_rebuilt, search telemetry).  Byte-stable for identical inputs;
+/// ends with a newline.
+[[nodiscard]] std::string robustness_json(const core::SystemModel& sys,
+                                          const noc::FaultSet& faults,
+                                          const sim::RobustnessReport& robustness,
+                                          const search::ReplanResult* replan = nullptr);
+
+}  // namespace nocsched::report

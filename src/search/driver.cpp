@@ -77,7 +77,10 @@ ChainOutcome run_chain(const EvalContext& ctx, const Strategy& strategy, std::ui
 
 SearchResult search_orders(const core::SystemModel& sys, const power::PowerBudget& budget,
                            const SearchOptions& options) {
-  const EvalContext ctx(sys, budget);
+  return search_orders(EvalContext(sys, budget), options);
+}
+
+SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options) {
   const Strategy& strategy = strategy_for(options.strategy);
 
   SearchResult result;

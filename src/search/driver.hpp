@@ -62,4 +62,9 @@ struct SearchResult {
                                          const power::PowerBudget& budget,
                                          const SearchOptions& options);
 
+/// As above over a caller-built EvalContext — the fault-aware replanner
+/// supplies a degraded context (masked eligibility, surviving modules
+/// only) and inherits the same determinism contract.
+[[nodiscard]] SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options);
+
 }  // namespace nocsched::search

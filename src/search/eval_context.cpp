@@ -1,5 +1,7 @@
 #include "search/eval_context.hpp"
 
+#include <utility>
+
 #include "core/scheduler.hpp"
 
 namespace nocsched::search {
@@ -10,6 +12,26 @@ EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget&
       pairs_(sys),
       eligible_(core::cpu_eligible_modules(sys)),
       base_order_(core::priority_order(sys)) {
+  build_tiers();
+}
+
+EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
+                         core::PairTable table, const noc::FaultSet& faults)
+    : sys_(sys),
+      budget_(budget),
+      pairs_(std::move(table)),
+      subset_(true),
+      eligible_(core::cpu_eligible_modules(sys, faults)) {
+  // Only modules the degraded table can actually serve are planned;
+  // the rest (dead processors, unroutable or power-infeasible cores,
+  // and the cores stranded transitively when their only serving
+  // processor lost its own test) are the replan's reported losses.
+  base_order_ =
+      core::priority_order(sys, eligible_, pairs_.testable_modules(sys, budget.limit));
+  build_tiers();
+}
+
+void EvalContext::build_tiers() {
   // Partition the base order into shuffle tiers: 0 = processor
   // self-tests (only when the bootstrap runs them first), 1 = ATE-only
   // cores, 2 = flexible cores.  priority_order sorts by exactly this
@@ -18,9 +40,9 @@ EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget&
   tiers_.resize(3);
   for (int id : base_order_) {
     const std::size_t tier =
-        (sys.soc().module(id).is_processor && sys.params().processors_first) ? 0
-        : eligible_[static_cast<std::size_t>(id - 1)]                        ? 2
-                                                                             : 1;
+        (sys_.soc().module(id).is_processor && sys_.params().processors_first) ? 0
+        : eligible_[static_cast<std::size_t>(id - 1)]                          ? 2
+                                                                               : 1;
     tiers_[tier].push_back(id);
   }
 
@@ -42,11 +64,12 @@ EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget&
 }
 
 std::uint64_t EvalContext::evaluate(const std::vector<int>& order) const {
-  return core::plan_tests_with_order(sys_, budget_, order, pairs_).makespan;
+  return plan(order).makespan;
 }
 
 core::Schedule EvalContext::plan(const std::vector<int>& order) const {
-  return core::plan_tests_with_order(sys_, budget_, order, pairs_);
+  return subset_ ? core::plan_tests_subset(sys_, budget_, order, pairs_)
+                 : core::plan_tests_with_order(sys_, budget_, order, pairs_);
 }
 
 std::vector<int> EvalContext::shuffled_order(Rng& rng) const {

@@ -19,6 +19,7 @@
 #include "core/pair_table.hpp"
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
+#include "noc/fault.hpp"
 #include "power/budget.hpp"
 
 namespace nocsched::search {
@@ -26,6 +27,16 @@ namespace nocsched::search {
 class EvalContext {
  public:
   EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget);
+
+  /// Degraded-system context for fault-aware replanning: `table` must
+  /// be the PairTable of `sys` under `faults` (from-scratch or via
+  /// apply_faults — the caller picks the build path, which is what the
+  /// fault-sweep bench measures).  Dead processors are masked out of
+  /// the eligibility bitmap, modules with no surviving pair are
+  /// excluded from the base order (search::replan reports them), and
+  /// evaluation plans the surviving subset only.
+  EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
+              core::PairTable table, const noc::FaultSet& faults);
 
   /// Makespan of planning `sys` with `order` (the search hot path: the
   /// schedule itself is discarded; the driver re-plans the winner once).
@@ -73,9 +84,8 @@ class EvalContext {
   /// RNG for chain `chain` of a search seeded with `seed`: the stream
   /// depends only on (seed, chain), never on thread or schedule, which
   /// is what makes any chain count bit-identical at any job count.
-  /// SplitMix-style golden-ratio stepping keeps the streams separated.
   [[nodiscard]] static Rng chain_rng(std::uint64_t seed, std::uint64_t chain) {
-    return Rng(seed + 0x9E3779B97F4A7C15ULL * (chain + 1));
+    return stream_rng(seed, chain);
   }
 
   [[nodiscard]] const core::SystemModel& system() const { return sys_; }
@@ -83,9 +93,12 @@ class EvalContext {
   [[nodiscard]] const std::vector<bool>& cpu_eligible() const { return eligible_; }
 
  private:
+  void build_tiers();
+
   const core::SystemModel& sys_;
   power::PowerBudget budget_;
   core::PairTable pairs_;
+  bool subset_ = false;  ///< fault mode: the order is a strict subset
   std::vector<bool> eligible_;
   std::vector<int> base_order_;
   std::vector<std::vector<int>> tiers_;

@@ -1,0 +1,46 @@
+#include "search/replan.hpp"
+
+#include <utility>
+
+namespace nocsched::search {
+
+namespace {
+
+ReplanResult replan_with_table(const core::SystemModel& sys, const power::PowerBudget& budget,
+                               const noc::FaultSet& faults, const SearchOptions& options,
+                               core::PairTable table, std::size_t pairs_rebuilt) {
+  ReplanResult result;
+  result.pairs_rebuilt = pairs_rebuilt;
+  const std::vector<bool> testable = table.testable_modules(sys, budget.limit);
+  for (const itc02::Module& m : sys.soc().modules) {
+    if (m.is_processor && faults.processor_failed(m.id)) {
+      result.dead_modules.push_back(m.id);
+    } else if (!testable[static_cast<std::size_t>(m.id - 1)]) {
+      result.untestable_modules.push_back(m.id);
+    } else {
+      result.planned_modules.push_back(m.id);
+    }
+  }
+  const EvalContext ctx(sys, budget, std::move(table), faults);
+  SearchResult search = search_orders(ctx, options);
+  result.schedule = std::move(search.best);
+  result.telemetry = std::move(search.telemetry);
+  return result;
+}
+
+}  // namespace
+
+ReplanResult replan(const core::SystemModel& sys, const power::PowerBudget& budget,
+                    const noc::FaultSet& faults, const SearchOptions& options) {
+  return replan_with_table(sys, budget, faults, options, core::PairTable(sys, faults), 0);
+}
+
+ReplanResult replan(const core::SystemModel& sys, const power::PowerBudget& budget,
+                    const noc::FaultSet& faults, const SearchOptions& options,
+                    const core::PairTable& pristine) {
+  core::PairTable degraded = pristine;
+  const std::size_t rebuilt = degraded.apply_faults(sys, faults);
+  return replan_with_table(sys, budget, faults, options, std::move(degraded), rebuilt);
+}
+
+}  // namespace nocsched::search

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -42,7 +44,10 @@ std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy, int so
   return conflicts;
 }
 
-ValidationReport validate(const core::SystemModel& sys, const core::Schedule& schedule) {
+namespace {
+
+ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedule& schedule,
+                               const noc::FaultSet* faults) {
   ValidationReport report;
   auto violation = [&](auto&&... parts) {
     report.violations.push_back(cat(std::forward<decltype(parts)>(parts)...));
@@ -51,13 +56,17 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
   const auto& endpoints = sys.endpoints();
   auto endpoint_ok = [&](int r) { return r >= 0 && static_cast<std::size_t>(r) < endpoints.size(); };
 
-  // 1. Coverage: each module exactly once.
+  // 1. Coverage: each module exactly once — at most once for a
+  // fault-aware replan, whose dead/unroutable modules are legitimately
+  // absent (search::replan reports the losses explicitly).
   std::map<int, int> seen;
   for (const core::Session& s : schedule.sessions) seen[s.module_id] += 1;
   for (const itc02::Module& m : sys.soc().modules) {
     const int count = seen.count(m.id) ? seen[m.id] : 0;
-    if (count != 1) {
-      violation("module ", m.id, " ('", m.name, "') tested ", count, " times (expected 1)");
+    const int expected_min = faults == nullptr ? 1 : 0;
+    if (count < expected_min || count > 1) {
+      violation("module ", m.id, " ('", m.name, "') tested ", count, " times (expected ",
+                faults == nullptr ? "1" : "at most 1", ")");
     }
     seen.erase(m.id);
   }
@@ -100,6 +109,18 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
     if (!snk.can_sink()) {
       violation("module ", s.module_id, ": ", snk.name(), " cannot sink");
     }
+    if (faults != nullptr) {
+      if (module_exists(sys.soc(), s.module_id) &&
+          sys.soc().module(s.module_id).is_processor &&
+          faults->processor_failed(s.module_id)) {
+        violation("module ", s.module_id, " is a failed processor but is scheduled");
+      }
+      for (const core::Endpoint* ep : {&src, &snk}) {
+        if (ep->is_processor() && faults->processor_failed(ep->processor_module)) {
+          violation("module ", s.module_id, " uses failed processor ", ep->processor_module);
+        }
+      }
+    }
     for (const core::Endpoint* ep : {&src, &snk}) {
       if (ep->is_processor()) {
         if (ep->processor_module == s.module_id) {
@@ -135,11 +156,34 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
     const core::Endpoint& snk = endpoints[static_cast<std::size_t>(s.sink_resource)];
     if (!module_exists(sys.soc(), s.module_id)) continue;
     const noc::RouterId at = sys.router_of(s.module_id);
-    if (s.path_in != noc::xy_route(sys.mesh(), src.router, at)) {
-      violation("module ", s.module_id, ": recorded stimulus path is not the XY route");
-    }
-    if (s.path_out != noc::xy_route(sys.mesh(), at, snk.router)) {
-      violation("module ", s.module_id, ": recorded response path is not the XY route");
+    if (faults == nullptr) {
+      if (s.path_in != noc::xy_route(sys.mesh(), src.router, at)) {
+        violation("module ", s.module_id, ": recorded stimulus path is not the XY route");
+      }
+      if (s.path_out != noc::xy_route(sys.mesh(), at, snk.router)) {
+        violation("module ", s.module_id, ": recorded response path is not the XY route");
+      }
+    } else {
+      const auto in = noc::fault_route(sys.mesh(), *faults, src.router, at);
+      if (!in || s.path_in != *in) {
+        violation("module ", s.module_id,
+                  ": recorded stimulus path is not the fault-aware route");
+      }
+      const auto out = noc::fault_route(sys.mesh(), *faults, at, snk.router);
+      if (!out || s.path_out != *out) {
+        violation("module ", s.module_id,
+                  ": recorded response path is not the fault-aware route");
+      }
+      // Belt and braces: the route contract says this can never happen,
+      // and a schedule that crosses dead silicon must fail loudly even
+      // if the route comparison above is someday relaxed.
+      for (const auto* path : {&s.path_in, &s.path_out}) {
+        for (noc::ChannelId c : *path) {
+          if (!faults->channel_usable(sys.mesh(), c)) {
+            violation("module ", s.module_id, ": path traverses failed channel ", c);
+          }
+        }
+      }
     }
     if (s.end <= s.start) continue;
     const Interval iv{s.start, s.end};
@@ -184,7 +228,19 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
     if (!src.can_source() || !snk.can_sink()) continue;
     if (src.is_processor() && src.processor_module == s.module_id) continue;
     if (snk.is_processor() && snk.processor_module == s.module_id) continue;
-    const core::SessionPlan plan = core::plan_session(sys, s.module_id, src, snk);
+    core::SessionPlan plan;
+    if (faults == nullptr) {
+      plan = core::plan_session(sys, s.module_id, src, snk);
+    } else {
+      std::optional<core::SessionPlan> degraded =
+          core::plan_session(sys, s.module_id, src, snk, *faults);
+      if (!degraded) {
+        violation("module ", s.module_id,
+                  ": scheduled but the fault-aware cost model finds no route");
+        continue;
+      }
+      plan = std::move(*degraded);
+    }
     if (plan.duration != s.duration()) {
       violation("module ", s.module_id, ": recorded duration ", s.duration(),
                 " != cost model ", plan.duration);
@@ -208,8 +264,20 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
   return report;
 }
 
-void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule) {
-  const ValidationReport report = validate(sys, schedule);
+}  // namespace
+
+ValidationReport validate(const core::SystemModel& sys, const core::Schedule& schedule) {
+  return validate_impl(sys, schedule, nullptr);
+}
+
+ValidationReport validate(const core::SystemModel& sys, const core::Schedule& schedule,
+                          const noc::FaultSet& faults) {
+  return validate_impl(sys, schedule, &faults);
+}
+
+namespace {
+
+void throw_on_violations(const ValidationReport& report) {
   if (report.ok()) return;
   std::string all = "schedule validation failed:";
   for (const std::string& v : report.violations) {
@@ -217,6 +285,17 @@ void validate_or_throw(const core::SystemModel& sys, const core::Schedule& sched
     all += v;
   }
   throw Error(all);
+}
+
+}  // namespace
+
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule) {
+  throw_on_violations(validate(sys, schedule));
+}
+
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule,
+                       const noc::FaultSet& faults) {
+  throw_on_violations(validate(sys, schedule, faults));
 }
 
 }  // namespace nocsched::sim

@@ -27,6 +27,7 @@
 #include "common/interval_set.hpp"
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
+#include "noc/fault.hpp"
 
 namespace nocsched::sim {
 
@@ -49,7 +50,19 @@ struct ValidationReport {
 [[nodiscard]] ValidationReport validate(const core::SystemModel& sys,
                                         const core::Schedule& schedule);
 
+/// Validate a fault-aware replan of the degraded system: coverage
+/// relaxes to "each module at most once" (dead or unroutable modules
+/// are legitimately absent — search::replan reports them), paths must
+/// be the deterministic fault-aware routes (so they never traverse a
+/// failed channel or router), no session may touch a failed processor,
+/// and recorded costs must match the fault-aware cost model.
+[[nodiscard]] ValidationReport validate(const core::SystemModel& sys,
+                                        const core::Schedule& schedule,
+                                        const noc::FaultSet& faults);
+
 /// Throw nocsched::Error listing the violations, if any.
 void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule);
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule,
+                       const noc::FaultSet& faults);
 
 }  // namespace nocsched::sim

@@ -128,9 +128,50 @@ else
   fails=$((fails + 1))
 fi
 
+# Fault injection: every format must render a scenario end to end.
+for fmt in table gantt csv json all; do
+  out=$("$cli" --soc d695 --procs 4 --fail-links 0:1 --fail-procs 11 --format "$fmt" 2>/dev/null)
+  rc=$?
+  if [ "$rc" -eq 0 ] && [ -n "$out" ]; then
+    echo "ok: fault scenario --format $fmt"
+  else
+    echo "FAIL: fault scenario --format $fmt produced rc=$rc / empty output" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# The fault JSON must carry the robustness classification and the replan.
+fjson=$("$cli" --soc d695 --procs 4 --fail-links 0:1 --fail-procs 11 --format json 2>/dev/null)
+case $fjson in
+  *'"faults"'*'"robustness"'*'"unroutable"'*'"replan"'*)
+    echo "ok: fault json has faults + robustness + replan" ;;
+  *) echo "FAIL: fault json missing faults/robustness/replan" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# Router faults resolve through the same pipeline.
+check "--fail-routers"      "$cli" --soc d695 --procs 4 --fail-routers 5 --format table
+
+# A fault sweep renders rows and is reproducible from its seed.
+sweep_a=$("$cli" --soc d695 --procs 4 --fault-sweep 3 --fault-seed 9 --format csv 2>/dev/null)
+sweep_b=$("$cli" --soc d695 --procs 4 --fault-sweep 3 --fault-seed 9 --format csv 2>/dev/null)
+if [ -n "$sweep_a" ] && [ "$sweep_a" = "$sweep_b" ]; then
+  echo "ok: --fault-sweep reproducible from --fault-seed"
+else
+  echo "FAIL: two --fault-sweep 3 --fault-seed 9 runs disagreed" >&2
+  fails=$((fails + 1))
+fi
+check "--fault-sweep json"  "$cli" --soc d695 --procs 4 --fault-sweep 2 --format json
+
 # Error paths: bad values must fail loudly, not succeed quietly.
 for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1" "--search tabu" \
-           "--restarts 3 --iters 5" "--restarts 3 --search anneal"; do
+           "--restarts 3 --iters 5" "--restarts 3 --search anneal" \
+           "--fail-links 0-1" "--fail-links 0:9" "--fail-procs 1" "--fail-procs 999" \
+           "--fail-routers 99" "--fault-sweep 0" \
+           "--fail-links 4294967296:1" "--fail-procs 4294967307" \
+           "--fail-links 0:1 --fault-seed 7" \
+           "--fail-links 0:1 --simulate" "--fault-sweep 2 --fail-procs 11" \
+           "--fault-sweep 2 --format gantt"; do
   # shellcheck disable=SC2086  # intentional word splitting of $bad
   if "$cli" --procs 2 $bad >/dev/null 2>&1; then
     echo "FAIL: '$bad' exited 0" >&2

@@ -153,5 +153,80 @@ TEST(LoadFile, MissingFileThrowsWithPath) {
   }
 }
 
+/// Corpus of malformed documents.  Every entry must be rejected with a
+/// line-numbered diagnostic containing `needle` — malformed counts must
+/// never truncate into plausible values or walk off a token vector.
+struct BrokenSoc {
+  const char* label;
+  std::string text;
+  const char* line;    ///< expected "line N" fragment
+  const char* needle;  ///< expected phrase in the diagnostic
+};
+
+std::string header_with(const std::string& module_line) {
+  return "SocName broken\n" + module_line + "\nScanChains 0\nTest 1 Patterns 1 ScanUse 0\n";
+}
+
+TEST(ParserCorpus, MalformedInputsFailWithLineNumbers) {
+  const std::string ok_module = "Module 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1";
+  const std::vector<BrokenSoc> corpus = {
+      {"negative count",
+       header_with("Module 1 'm' Inputs -5 Outputs 1 Bidirs 0 TestPower 1"), "line 2",
+       "Inputs"},
+      {"count overflowing u64",
+       header_with("Module 1 'm' Inputs 99999999999999999999 Outputs 1 Bidirs 0 TestPower 1"),
+       "line 2", "Inputs"},
+      {"count overflowing u32",
+       header_with("Module 1 'm' Inputs 4294967296 Outputs 1 Bidirs 0 TestPower 1"), "line 2",
+       "out of range"},
+      {"module id 0", header_with("Module 0 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1"),
+       "line 2", "module ids start at 1"},
+      {"module id overflowing int",
+       header_with("Module 99999999999 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower 1"), "line 2",
+       "out of range"},
+      {"junk power", header_with("Module 1 'm' Inputs 1 Outputs 1 Bidirs 0 TestPower lots"),
+       "line 2", "TestPower"},
+      {"duplicate module id",
+       "SocName broken\n" + ok_module + "\nScanChains 0\nTest 1 Patterns 1 ScanUse 0\n" +
+           ok_module + "\nScanChains 0\nTest 1 Patterns 1 ScanUse 0\n",
+       "line 5", "duplicate module id 1"},
+      {"truncated module header", "SocName broken\nModule 1\n", "line 2", "missing module name"},
+      {"truncated scan chain list",
+       "SocName broken\n" + ok_module + "\nScanChains 3 : 8 7\nTest 1 Patterns 1 ScanUse 0\n",
+       "line 3", "ScanChains"},
+      // Regression: the count used to flow unchecked into `count + 3`
+      // and a raw token index — a wrapping count read out of bounds.
+      {"scan chain count overflowing size arithmetic",
+       "SocName broken\n" + ok_module + "\nScanChains 18446744073709551615\n", "line 3",
+       "out of range"},
+      {"scan chain count far beyond the line",
+       "SocName broken\n" + ok_module + "\nScanChains 2000000 : 8\n", "line 3",
+       "out of range"},
+      {"negative scan chain length",
+       "SocName broken\n" + ok_module + "\nScanChains 1 : -8\nTest 1 Patterns 1 ScanUse 0\n",
+       "line 3", "scan chain length"},
+      {"negative pattern count",
+       "SocName broken\n" + ok_module + "\nScanChains 0\nTest 1 Patterns -2 ScanUse 0\n",
+       "line 4", "Patterns"},
+      {"pattern count overflowing u32",
+       "SocName broken\n" + ok_module + "\nScanChains 0\nTest 1 Patterns 4294967296 ScanUse 0\n",
+       "line 4", "out of range"},
+      {"total modules overflow", "SocName broken\nTotalModules 99999999999999999999\n",
+       "line 2", "TotalModules"},
+  };
+  for (const BrokenSoc& broken : corpus) {
+    try {
+      (void)parse(broken.text);
+      FAIL() << broken.label << " was accepted";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(broken.line), std::string::npos)
+          << broken.label << ": no line number in '" << what << "'";
+      EXPECT_NE(what.find(broken.needle), std::string::npos)
+          << broken.label << ": diagnostic '" << what << "' lacks '" << broken.needle << "'";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nocsched::itc02

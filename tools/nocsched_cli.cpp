@@ -32,6 +32,18 @@
 //                       simulator and report observed vs planned timing
 //                       (exits non-zero if the cross-check finds
 //                       mismatches)
+//   --fail-links A:B,.. fault injection: fail the directed mesh channels
+//                       from router A to adjacent router B (comma list)
+//   --fail-routers N,.. fail whole routers (every touching channel dies)
+//   --fail-procs N,..   fail the reused processors with these module ids
+//                       (dead silicon: excluded from test and service)
+//   --fault-sweep K     replay + replan K seeded random fault scenarios
+//                       (one random link each, sometimes a processor)
+//   --fault-seed S      RNG seed for --fault-sweep (default 0xFA017)
+//
+// With any fault option the CLI plans the pristine system, replays that
+// plan on the degraded mesh (classifying every session as unaffected /
+// delayed / unroutable), then replans fault-aware and reports both.
 
 #include <cstdlib>
 #include <iostream>
@@ -43,16 +55,22 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "core/scheduler.hpp"
 #include "core/system_model.hpp"
 #include "des/replay.hpp"
 #include "itc02/parser.hpp"
+#include "noc/fault.hpp"
+#include "report/fault_report.hpp"
+#include "report/json_util.hpp"
 #include "report/schedule_json.hpp"
 #include "report/schedule_text.hpp"
 #include "report/trace_report.hpp"
 #include "search/driver.hpp"
+#include "search/replan.hpp"
 #include "sim/cross_check.hpp"
+#include "sim/robustness.hpp"
 #include "sim/validate.hpp"
 
 namespace {
@@ -77,6 +95,16 @@ struct Options {
   int mesh_cols = 0;
   int mesh_rows = 0;
   bool simulate = false;
+  std::string fail_links;    // "A:B,C:D" router pairs, resolved once the mesh exists
+  std::string fail_routers;  // "N,M"
+  std::string fail_procs;    // "N,M" module ids
+  std::uint64_t fault_sweep = 0;
+  std::optional<std::uint64_t> fault_seed;  // default 0xFA017; only with --fault-sweep
+
+  [[nodiscard]] bool fault_mode() const {
+    return !fail_links.empty() || !fail_routers.empty() || !fail_procs.empty() ||
+           fault_sweep > 0;
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -86,14 +114,18 @@ struct Options {
                "       [--choice greedy|earliest] [--search restart|anneal|local]\n"
                "       [--iters N] [--restarts N] [--seed N] [--jobs N]\n"
                "       [--wrapper N] [--format table|gantt|csv|json|all] [--mesh CxR]\n"
-               "       [--simulate]\n"
+               "       [--simulate] [--fail-links A:B,...] [--fail-routers N,...]\n"
+               "       [--fail-procs N,...] [--fault-sweep K] [--fault-seed S]\n"
                "  --search picks the order-search strategy and --iters its\n"
                "  order-evaluation budget (--restarts N is a legacy alias for\n"
                "  --search restart --iters N); --seed makes search runs\n"
                "  reproducible; --jobs runs search chains in parallel (default:\n"
                "  hardware threads) with bit-identical results at any job count;\n"
                "  --simulate replays the plan on the flit-level simulator and\n"
-               "  reports observed vs planned timing.\n";
+               "  reports observed vs planned timing; --fail-links/--fail-routers/\n"
+               "  --fail-procs inject faults (the pristine plan is replayed on the\n"
+               "  degraded mesh and then replanned fault-aware); --fault-sweep runs\n"
+               "  K seeded random fault scenarios.\n";
   std::exit(2);
 }
 
@@ -102,7 +134,8 @@ Options parse_args(int argc, char** argv) {
   // rejected by name (not a silent usage exit) so typos are diagnosable.
   static const std::set<std::string> value_keys = {
       "soc",  "soc-file", "cpu",  "procs",   "power",  "policy", "choice", "search",
-      "iters", "restarts", "seed", "jobs", "wrapper", "format", "mesh"};
+      "iters", "restarts", "seed", "jobs", "wrapper", "format", "mesh",
+      "fail-links", "fail-routers", "fail-procs", "fault-sweep", "fault-seed"};
   static const std::set<std::string> flag_keys = {"simulate"};
 
   Options opt;
@@ -174,6 +207,17 @@ Options parse_args(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(jobs);
     } else if (key == "simulate") {
       opt.simulate = true;
+    } else if (key == "fail-links") {
+      opt.fail_links = value;
+    } else if (key == "fail-routers") {
+      opt.fail_routers = value;
+    } else if (key == "fail-procs") {
+      opt.fail_procs = value;
+    } else if (key == "fault-sweep") {
+      opt.fault_sweep = parse_u64(value, "--fault-sweep");
+      ensure(opt.fault_sweep > 0, "--fault-sweep expects at least 1 scenario");
+    } else if (key == "fault-seed") {
+      opt.fault_seed = parse_u64(value, "--fault-seed");
     } else if (key == "wrapper") {
       opt.wrapper = static_cast<std::uint32_t>(parse_u64(value, "--wrapper"));
     } else if (key == "format") {
@@ -196,7 +240,53 @@ Options parse_args(int argc, char** argv) {
   ensure(!(opt.restarts > 0 && (opt.strategy.has_value() || opt.iters.has_value())),
          "--restarts is a legacy alias for --search restart --iters and cannot be "
          "combined with --search/--iters");
+  ensure(!(opt.fault_mode() && opt.simulate),
+         "--simulate cannot be combined with fault injection (fault mode already "
+         "replays the plan on the degraded mesh)");
+  ensure(!(opt.fault_sweep > 0 &&
+           (!opt.fail_links.empty() || !opt.fail_routers.empty() || !opt.fail_procs.empty())),
+         "--fault-sweep generates its own scenarios and cannot be combined with --fail-*");
+  ensure(!(opt.fault_seed.has_value() && opt.fault_sweep == 0),
+         "--fault-seed only seeds --fault-sweep scenarios; it has no effect without it");
   return opt;
+}
+
+/// Resolve the --fail-* flags against the built system.  Link specs are
+/// "from:to" router ids of adjacent routers; processor specs must name
+/// processor modules.
+noc::FaultSet build_fault_set(const Options& opt, const core::SystemModel& sys) {
+  // Range checks run on the parsed 64-bit value, before any narrowing —
+  // a huge id must be rejected, never truncated into a plausible one.
+  auto parse_router = [&](std::string_view spec, std::string_view what) {
+    const std::uint64_t r = parse_u64(spec, what);
+    ensure(r < static_cast<std::uint64_t>(sys.mesh().router_count()), what, ": no router ", r);
+    return static_cast<noc::RouterId>(r);
+  };
+  noc::FaultSet faults;
+  if (!opt.fail_links.empty()) {
+    for (const std::string_view spec : split(opt.fail_links, ',')) {
+      const auto ends = split(spec, ':');
+      ensure(ends.size() == 2, "--fail-links expects FROM:TO router pairs, got '", spec, "'");
+      faults.fail_channel(sys.mesh().channel_between(parse_router(ends[0], "--fail-links"),
+                                                     parse_router(ends[1], "--fail-links")));
+    }
+  }
+  if (!opt.fail_routers.empty()) {
+    for (const std::string_view spec : split(opt.fail_routers, ',')) {
+      faults.fail_router(parse_router(spec, "--fail-routers"));
+    }
+  }
+  if (!opt.fail_procs.empty()) {
+    for (const std::string_view spec : split(opt.fail_procs, ',')) {
+      const std::uint64_t raw = parse_u64(spec, "--fail-procs");
+      ensure(raw >= 1 && raw <= sys.soc().modules.size(), "--fail-procs: no module ", raw);
+      const int id = static_cast<int>(raw);
+      ensure(sys.soc().module(id).is_processor, "--fail-procs: module ", id, " ('",
+             sys.soc().module(id).name, "') is not a processor");
+      faults.fail_processor(id);
+    }
+  }
+  return faults;
 }
 
 core::SystemModel build_system(const Options& opt, const core::PlannerParams& params) {
@@ -221,6 +311,108 @@ core::SystemModel build_system(const Options& opt, const core::PlannerParams& pa
   const noc::RouterId out = core::default_ate_output(mesh);
   return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
                            params);
+}
+
+/// One explicit fault scenario: replay the pristine plan degraded,
+/// replan fault-aware, and report both.
+int run_fault_scenario(const Options& opt, const core::SystemModel& sys,
+                       const power::PowerBudget& budget, const core::Schedule& schedule,
+                       const search::SearchOptions& ropts, bool all) {
+  const noc::FaultSet faults = build_fault_set(opt, sys);
+  const sim::RobustnessReport robustness = sim::assess_robustness(sys, schedule, faults);
+  const search::ReplanResult replanned = search::replan(sys, budget, faults, ropts);
+  sim::validate_or_throw(sys, replanned.schedule, faults);
+  if (opt.format == "table" || all) {
+    std::cout << report::robustness_table(sys, faults, robustness, &replanned);
+    std::cout << report::schedule_table(sys, replanned.schedule);
+  }
+  if (opt.format == "gantt" || all) {
+    std::cout << report::gantt(sys, replanned.schedule);
+  }
+  if (opt.format == "csv" || all) {
+    std::cout << report::robustness_csv(sys, robustness);
+  }
+  if (opt.format == "json" || all) {
+    std::cout << report::robustness_json(sys, faults, robustness, &replanned);
+  }
+  return 0;
+}
+
+/// K seeded random fault scenarios: per-scenario robustness + an
+/// incremental (apply_faults) replan, reported one row each.
+int run_fault_sweep(const Options& opt, const core::SystemModel& sys,
+                    const power::PowerBudget& budget, const core::Schedule& schedule,
+                    const search::SearchOptions& ropts, bool all) {
+  ensure(opt.format != "gantt", "--fault-sweep supports --format table|csv|json|all");
+  const std::uint64_t fault_seed = opt.fault_seed.value_or(0xFA017);
+  const core::PairTable pristine(sys);
+  // One unchanged plan, one baseline replay: every scenario is judged
+  // against it (re-simulating the pristine trace K times buys nothing).
+  const des::SimTrace baseline = des::replay(sys, schedule);
+  const std::vector<int> procs = sys.soc().processor_ids();
+  struct Row {
+    std::uint64_t scenario = 0;
+    std::string faults;
+    sim::RobustnessReport robustness;
+    std::uint64_t replan_makespan = 0;
+    std::size_t untestable = 0;
+    std::size_t pairs_rebuilt = 0;
+  };
+  std::vector<Row> rows;
+  for (std::uint64_t k = 0; k < opt.fault_sweep; ++k) {
+    Rng rng = stream_rng(fault_seed, k);
+    const noc::FaultSet faults = noc::random_fault_scenario(sys.mesh(), procs, rng);
+    Row row;
+    row.scenario = k;
+    row.faults = faults.describe();
+    row.robustness = sim::assess_robustness(sys, schedule, faults, baseline);
+    const search::ReplanResult replanned = search::replan(sys, budget, faults, ropts, pristine);
+    sim::validate_or_throw(sys, replanned.schedule, faults);
+    row.replan_makespan = replanned.schedule.makespan;
+    row.untestable = replanned.untestable_modules.size() + replanned.dead_modules.size();
+    row.pairs_rebuilt = replanned.pairs_rebuilt;
+    rows.push_back(std::move(row));
+  }
+  if (opt.format == "table" || all) {
+    std::cout << "fault sweep for " << sys.soc().name << ": " << opt.fault_sweep
+              << " scenarios (seed " << fault_seed << "), pristine makespan "
+              << schedule.makespan << "\n";
+    for (const Row& r : rows) {
+      std::cout << "#" << r.scenario << " " << r.faults << ": " << r.robustness.lost
+                << " lost, " << r.robustness.delayed << " delayed, stretch "
+                << cat(r.robustness.makespan_stretch) << "; replanned makespan "
+                << r.replan_makespan << " (" << r.untestable << " modules lost, "
+                << r.pairs_rebuilt << " pair lists rebuilt)\n";
+    }
+  }
+  if (opt.format == "csv" || all) {
+    CsvWriter csv(std::cout, {"scenario", "faults", "lost", "delayed", "stretch",
+                              "replan_makespan", "modules_lost", "pairs_rebuilt"});
+    for (const Row& r : rows) {
+      csv.row_of(r.scenario, r.faults, r.robustness.lost, r.robustness.delayed,
+                 cat(r.robustness.makespan_stretch), r.replan_makespan, r.untestable,
+                 r.pairs_rebuilt);
+    }
+  }
+  if (opt.format == "json" || all) {
+    std::cout << "{\n  \"soc\": " << report::json_string(sys.soc().name)
+              << ",\n  \"pristine_makespan\": " << schedule.makespan
+              << ",\n  \"fault_seed\": " << fault_seed << ",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::cout << "    {\"scenario\": " << r.scenario
+                << ", \"faults\": " << report::json_string(r.faults)
+                << ", \"lost\": " << r.robustness.lost
+                << ", \"delayed\": " << r.robustness.delayed << ", \"stretch\": "
+                << report::json_number(r.robustness.makespan_stretch)
+                << ", \"replan_makespan\": " << r.replan_makespan
+                << ", \"modules_lost\": " << r.untestable
+                << ", \"pairs_rebuilt\": " << r.pairs_rebuilt << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -263,6 +455,20 @@ int main(int argc, char** argv) {
       schedule = core::plan_tests(sys, budget);
     }
     sim::validate_or_throw(sys, schedule);
+
+    if (opt.fault_mode()) {
+      // The replan inherits the pristine run's search configuration, so
+      // a searched plan is replanned with the same effort (a plain
+      // greedy run replans greedily).
+      search::SearchOptions ropts;
+      ropts.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
+      ropts.iters = searching ? opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256) : 0;
+      ropts.seed = opt.seed;
+      ropts.jobs = opt.jobs;
+      return opt.fault_sweep > 0
+                 ? run_fault_sweep(opt, sys, budget, schedule, ropts, all)
+                 : run_fault_scenario(opt, sys, budget, schedule, ropts, all);
+    }
 
     if (opt.simulate) {
       const des::SimTrace trace = des::replay(sys, schedule);
