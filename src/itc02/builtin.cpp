@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/error.hpp"
+#include "common/narrow.hpp"
 
 namespace nocsched::itc02 {
 
@@ -218,7 +219,7 @@ Module processor_module(ProcessorKind kind, int id, int ordinal) {
 
 Soc with_processors(Soc base, ProcessorKind kind, int count) {
   ensure(count >= 0, "with_processors: negative count");
-  int id = static_cast<int>(base.modules.size());
+  int id = checked_narrow<int>(base.modules.size());
   for (int i = 1; i <= count; ++i) {
     base.modules.push_back(processor_module(kind, ++id, i));
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/narrow.hpp"
 
 namespace nocsched::itc02 {
 
@@ -16,13 +17,12 @@ Soc random_soc(Rng& rng, const RandomSocSpec& spec) {
   const auto cores = spec.min_cores + rng.below(spec.max_cores - spec.min_cores + 1);
   for (std::size_t i = 1; i <= cores; ++i) {
     Module m;
-    m.id = static_cast<int>(i);
+    m.id = checked_narrow<int>(i);
     m.name = cat("core_", i);
     const bool combinational = rng.chance(spec.combinational_fraction);
     if (!combinational && spec.max_scan_flops > 0) {
-      const auto flops =
-          static_cast<std::uint32_t>(rng.skewed(1, spec.max_scan_flops));
-      auto chains = static_cast<std::uint32_t>(rng.uniform(1, spec.max_scan_chains));
+      const auto flops = checked_narrow<std::uint32_t>(rng.skewed(1, spec.max_scan_flops));
+      auto chains = checked_narrow<std::uint32_t>(rng.uniform(1, spec.max_scan_chains));
       chains = std::min(chains, flops);  // no empty chains
       const std::uint32_t base = flops / chains;
       const std::uint32_t extra = flops % chains;
@@ -31,16 +31,16 @@ Soc random_soc(Rng& rng, const RandomSocSpec& spec) {
       }
     }
     // Guarantee testability: a combinational core needs terminals.
-    m.inputs = static_cast<std::uint32_t>(rng.uniform(1, spec.max_terminals));
-    m.outputs = static_cast<std::uint32_t>(rng.uniform(1, spec.max_terminals));
-    m.bidirs = static_cast<std::uint32_t>(rng.below(8));
+    m.inputs = checked_narrow<std::uint32_t>(rng.uniform(1, spec.max_terminals));
+    m.outputs = checked_narrow<std::uint32_t>(rng.uniform(1, spec.max_terminals));
+    m.bidirs = checked_narrow<std::uint32_t>(rng.below(8));
     m.test_power = 1.0 + rng.uniform01() * (spec.max_power - 1.0);
 
     const auto tests = rng.chance(spec.multi_test_fraction) ? 2u : 1u;
     for (std::uint32_t t = 0; t < tests; ++t) {
       CoreTest ct;
-      ct.patterns = static_cast<std::uint32_t>(
-          rng.uniform(spec.min_patterns, spec.max_patterns));
+      ct.patterns =
+          checked_narrow<std::uint32_t>(rng.uniform(spec.min_patterns, spec.max_patterns));
       ct.uses_scan = !m.scan_chains.empty() && (t == 0 || rng.chance(0.5));
       m.tests.push_back(ct);
     }

@@ -14,12 +14,16 @@ namespace {
 // Shortest representation that parses back to the same double.
 std::string double_text(double v) {
   // Integral values (the common case for benchmark powers) print plainly.
+  // Exact comparison is the point here: "does v survive the round trip
+  // bit-for-bit", not a tolerance question.
+  // nocsched-lint: allow(D5) — deliberate exact round-trip check
   if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
     return std::to_string(static_cast<long long>(v));
   }
   for (int precision = 1; precision <= 17; ++precision) {
     std::ostringstream os;
     os << std::setprecision(precision) << v;
+    // nocsched-lint: allow(D5) — shortest-representation search needs ==
     if (std::stod(os.str()) == v) return os.str();
   }
   std::ostringstream os;

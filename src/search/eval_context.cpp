@@ -16,7 +16,7 @@ EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget&
 }
 
 EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
-                         core::PairTable table, const noc::FaultSet& faults)
+                         core::PairTable&& table, const noc::FaultSet& faults)
     : sys_(sys),
       budget_(budget),
       pairs_(std::move(table)),

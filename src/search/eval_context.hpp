@@ -34,9 +34,11 @@ class EvalContext {
   /// fault-sweep bench measures).  Dead processors are masked out of
   /// the eligibility bitmap, modules with no surviving pair are
   /// excluded from the base order (search::replan reports them), and
-  /// evaluation plans the surviving subset only.
+  /// evaluation plans the surviving subset only.  The table is an
+  /// owning sink (rvalue reference per rule D4): callers move a table
+  /// in rather than copying one that is shared elsewhere.
   EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
-              core::PairTable table, const noc::FaultSet& faults);
+              core::PairTable&& table, const noc::FaultSet& faults);
 
   /// Makespan of planning `sys` with `order` (the search hot path: the
   /// schedule itself is discarded; the driver re-plans the winner once).

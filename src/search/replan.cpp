@@ -8,7 +8,7 @@ namespace {
 
 ReplanResult replan_with_table(const core::SystemModel& sys, const power::PowerBudget& budget,
                                const noc::FaultSet& faults, const SearchOptions& options,
-                               core::PairTable table, std::size_t pairs_rebuilt) {
+                               core::PairTable&& table, std::size_t pairs_rebuilt) {
   ReplanResult result;
   result.pairs_rebuilt = pairs_rebuilt;
   const std::vector<bool> testable = table.testable_modules(sys, budget.limit);

@@ -1,0 +1,28 @@
+// Fixture: clean twin of d1_violation — point lookups into an
+// unordered map and ordered-container traversal are all fine.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace demo {
+
+int lookup(const std::unordered_map<int, int>& cache, int key) {
+  const auto it = cache.find(key);  // point lookup: no traversal
+  return it == cache.end() ? 0 : it->second;
+}
+
+int sum_sorted(const std::map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+int sum_vec(const std::vector<int>& v) {
+  int total = 0;
+  for (auto it = v.begin(); it != v.end(); ++it) total += *it;
+  return total;
+}
+
+}  // namespace demo

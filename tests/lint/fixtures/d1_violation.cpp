@@ -1,0 +1,32 @@
+// Fixture: rule D1 violations (linted under a pretend src/ path; never
+// compiled).  Markers in trailing comments show the lines the linter
+// must flag.
+#include <string>
+#include <unordered_map>
+
+namespace demo {
+
+int sum_values(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // expect[D1]
+    total += value;
+  }
+  return total;
+}
+
+using Index = std::unordered_map<std::string, int>;
+
+int first_of(const Index& index) {
+  auto it = index.begin();  // expect[D1]
+  return it == index.end() ? -1 : it->second;
+}
+
+int direct() {
+  int sum = 0;
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // expect[D1]
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace demo

@@ -1,0 +1,31 @@
+// Fixture: clean twin of d2_violation — seeded Rng use, and
+// identifiers that merely resemble the banned names.
+#include <functional>
+#include <string>
+
+namespace demo {
+
+struct Rng {
+  explicit Rng(unsigned long long seed);
+  unsigned long long below(unsigned long long n);
+};
+
+unsigned long long draw(Rng& rng) {
+  return rng.below(100);  // the sanctioned randomness source
+}
+
+struct Trace {
+  long time(int session) const;  // member named `time`: not ::time()
+};
+
+long session_time(const Trace& t) {
+  return t.time(3);
+}
+
+int random_soc_id(Rng& rng) {  // `random_soc*` is a different identifier
+  return static_cast<int>(rng.below(1000));
+}
+
+std::hash<std::string> by_name;  // hashing a value type is fine
+
+}  // namespace demo

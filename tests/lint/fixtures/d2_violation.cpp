@@ -1,0 +1,34 @@
+// Fixture: rule D2 violations — every nondeterminism source the rule
+// bans in planner/search/sim code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+
+namespace demo {
+
+int jitter() {
+  std::mt19937 gen{std::random_device{}()};  // expect[D2]
+  return static_cast<int>(gen());
+}
+
+int libc_random() {
+  return std::rand();  // expect[D2]
+}
+
+long stamp() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect[D2]
+  (void)t0;
+  return time(nullptr);  // expect[D2]
+}
+
+struct PtrKeyed {
+  std::hash<int*> hasher;  // expect[D2]
+};
+
+struct PtrOrdered {
+  std::less<const char*> cmp;  // expect[D2]
+};
+
+}  // namespace demo

@@ -1,0 +1,27 @@
+// Fixture: clean twin of d3_violation — a stateless Strategy subclass
+// (const/static/constexpr members only) and plain state structs that do
+// not derive from Strategy.
+
+namespace search {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual int propose() const = 0;
+};
+
+class AnnealLike final : public Strategy {
+ public:
+  int propose() const override { return kBase + static_cast<int>(weight_); }
+
+ private:
+  static constexpr int kBase = 8;
+  const double weight_ = 0.5;  // const member: immutable after construction
+};
+
+struct ChainScratch {  // per-chain state lives outside the strategy
+  int cursor = 0;
+  double temperature = 1.0;
+};
+
+}  // namespace search

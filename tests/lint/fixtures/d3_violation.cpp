@@ -1,0 +1,31 @@
+// Fixture: rule D3 violations — stateful Strategy subclass and
+// `mutable` in search code (linted under a pretend src/search/ path).
+
+namespace search {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual int propose() const = 0;
+};
+
+class CountingStrategy final : public Strategy {
+ public:
+  int propose() const override { return calls_; }
+  int evaluations() const { return calls_; }
+
+ private:
+  int calls_ = 0;            // expect[D3]
+  double last_makespan = 0;  // expect[D3]
+  static int shared_count;   // static is fine
+};
+
+class CachingHelper {  // not a Strategy: members are fine...
+ public:
+  int lookup(int k) const;
+
+ private:
+  mutable int hits_ = 0;  // expect[D3] ...but mutable never is in search/
+};
+
+}  // namespace search

@@ -1,0 +1,33 @@
+// Fixture: clean twin of d4_violation — const&, && sinks, const*, and
+// the shapes that once false-positived (constructor calls, local
+// declarations inside a lambda passed to a call).
+
+namespace core {
+class PairTable {};
+class SystemModel {};
+}  // namespace core
+
+namespace demo {
+
+void plan_all(const core::PairTable& table);
+
+void adopt(core::PairTable&& table);  // owning sink
+
+void inspect(const core::SystemModel* sys);
+
+core::PairTable build() {
+  return core::PairTable();  // constructor call, not a parameter
+}
+
+template <typename F>
+void run(F f);
+
+void each() {
+  run([](int i) {
+    core::SystemModel sys;  // local declaration inside a lambda body
+    (void)sys;
+    (void)i;
+  });
+}
+
+}  // namespace demo

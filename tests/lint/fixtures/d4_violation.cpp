@@ -1,0 +1,24 @@
+// Fixture: rule D4 violations — shared immutable planning types taken
+// by value / non-const reference / non-const pointer outside their
+// owning files.
+
+namespace core {
+class PairTable {};
+class SystemModel {};
+}  // namespace core
+
+namespace demo {
+
+void plan_all(core::PairTable table);  // expect[D4]
+
+void rebuild(core::PairTable& table);  // expect[D4]
+
+void mutate(core::SystemModel* sys);  // expect[D4]
+
+unsigned count_pairs(core::PairTable, int id);  // expect[D4]
+
+struct Runner {
+  int operator()(core::SystemModel sys) const;  // expect[D4]
+};
+
+}  // namespace demo

@@ -1,0 +1,36 @@
+// Fixture: clean twin of d5_violation — checked narrowing routes,
+// integer comparisons, and widening casts.
+#include <cstdint>
+
+namespace itc02 {
+
+std::uint64_t checked_u64(const char* tok, std::uint64_t max);
+std::uint64_t require_u64(int field, std::uint64_t max);
+template <typename To, typename From>
+To checked_narrow(From v);
+
+std::uint32_t patterns(const char* tok) {
+  return static_cast<std::uint32_t>(checked_u64(tok, 0xFFFFFFFFULL));  // checked inner
+}
+
+std::uint32_t inputs() {
+  return static_cast<std::uint32_t>(require_u64(3, 0xFFFFFFFFULL));  // checked inner
+}
+
+int module_id(std::uint64_t raw) {
+  return checked_narrow<int>(raw);  // the sanctioned route
+}
+
+bool same_id(int a, int b) {
+  return a == b;  // integer equality is exact
+}
+
+long long widen(int v) {
+  return static_cast<long long>(v);  // widening: not a narrowing cast
+}
+
+double scale(std::uint32_t v) {
+  return static_cast<double>(v);  // int -> float is not narrowing here
+}
+
+}  // namespace itc02

@@ -1,0 +1,27 @@
+// Fixture: rule D5 violations — float equality and unchecked narrowing
+// in parser code (linted under a pretend src/itc02/ path).
+#include <cstdint>
+
+namespace itc02 {
+
+bool same_power(double a, double b) {
+  return a == b;  // expect[D5]
+}
+
+bool not_half(float f) {
+  return f != 0.5f;  // expect[D5]
+}
+
+bool literal_compare(int scaled) {
+  return scaled * 0.1 == 1.0;  // expect[D5]
+}
+
+int to_int(std::uint64_t big) {
+  return static_cast<int>(big);  // expect[D5]
+}
+
+std::uint32_t to_u32(long long raw) {
+  return static_cast<std::uint32_t>(raw + 1);  // expect[D5]
+}
+
+}  // namespace itc02

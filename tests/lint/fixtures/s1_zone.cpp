@@ -1,0 +1,16 @@
+// Fixture: rule S1 — suppression comments are themselves findings in
+// the determinism-critical zones (linted under a pretend src/core/
+// path).  The allow(D2) below must NOT silence anything, and the
+// comment itself must be reported; allow(S1) must not work either.
+
+namespace core {
+
+int passthrough(int v) {
+  return v;  // nocsched-lint: allow(D2) (expect[S1])
+}
+
+int another(int v) {
+  return v + 1;  // nocsched-lint: allow(S1) (expect[S1]: S1 is unsuppressable)
+}
+
+}  // namespace core

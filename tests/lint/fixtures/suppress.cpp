@@ -1,0 +1,27 @@
+// Fixture: inline suppression behaviour (linted under a pretend
+// src/itc02/ path, where suppressions are permitted).
+
+namespace itc02 {
+
+bool own_line_suppressed(double a, double b) {
+  // nocsched-lint: allow(D5) — exact round-trip check, deliberately
+  return a == b;
+}
+
+bool trailing_suppressed(double a) {
+  return a == 0.25;  // nocsched-lint: allow(D5)
+}
+
+bool list_suppressed(double a) {
+  return a != 1.5;  // nocsched-lint: allow(D1, D5)
+}
+
+bool wrong_rule_suppressed(double a) {
+  return a == 4.5;  // nocsched-lint: allow(D2) (expect[D5]: wrong id)
+}
+
+bool still_live(double a) {
+  return a == 2.5;  // expect[D5]
+}
+
+}  // namespace itc02

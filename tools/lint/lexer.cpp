@@ -1,0 +1,287 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace nocsched::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_cont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first within each family.
+constexpr std::array<std::string_view, 25> kPuncts = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "++",  "--",  "+=",  "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : s_(text) {}
+
+  LexResult run() {
+    while (i_ < s_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool line_has_code_ = false;  // non-comment token seen on this line
+  bool in_preproc_ = false;
+  LexResult out_;
+
+  [[nodiscard]] char cur() const { return s_[i_]; }
+  [[nodiscard]] char peek(std::size_t k = 1) const {
+    return i_ + k < s_.size() ? s_[i_ + k] : '\0';
+  }
+
+  void advance() {
+    if (s_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+      line_has_code_ = false;
+      in_preproc_ = false;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+
+  // Backslash-newline: logically nothing, but lines still count.
+  bool eat_continuation() {
+    if (cur() == '\\' && (peek() == '\n' || (peek() == '\r' && peek(2) == '\n'))) {
+      const bool preproc = in_preproc_;
+      advance();                       // backslash
+      while (i_ < s_.size() && cur() != '\n') advance();
+      if (i_ < s_.size()) advance();   // newline (resets in_preproc_)
+      in_preproc_ = preproc;           // a continuation extends the directive
+      return true;
+    }
+    return false;
+  }
+
+  void push(TokKind kind, std::size_t begin, int line, int col, bool is_float = false) {
+    Token t;
+    t.kind = kind;
+    t.text = s_.substr(begin, i_ - begin);
+    t.line = line;
+    t.col = col;
+    t.preproc = in_preproc_;
+    t.is_float = is_float;
+    out_.tokens.push_back(t);
+    line_has_code_ = true;
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v') {
+      advance();
+      return;
+    }
+    if (eat_continuation()) return;
+    if (c == '/' && peek() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && !line_has_code_) {
+      in_preproc_ = true;
+      const int line = line_, col = col_;
+      const std::size_t begin = i_;
+      advance();
+      push(TokKind::kPunct, begin, line, col);
+      return;
+    }
+    if (ident_start(c)) {
+      maybe_prefixed_literal();
+      return;
+    }
+    if (digit(c) || (c == '.' && digit(peek()))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal(i_);
+      return;
+    }
+    if (c == '\'') {
+      char_literal(i_);
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const int line = line_, col = col_;
+    const bool own = !line_has_code_;
+    const std::size_t begin = i_ + 2;
+    advance();
+    advance();
+    while (i_ < s_.size()) {
+      if (eat_continuation()) continue;  // comment spans to next line
+      if (cur() == '\n') break;
+      advance();
+    }
+    out_.comments.push_back({s_.substr(begin, i_ - begin), line, col, line_, own});
+  }
+
+  void block_comment() {
+    const int line = line_, col = col_;
+    const bool own = !line_has_code_;
+    const std::size_t begin = i_ + 2;
+    advance();
+    advance();
+    std::size_t end = s_.size();
+    while (i_ < s_.size()) {
+      if (cur() == '*' && peek() == '/') {
+        end = i_;
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    out_.comments.push_back({s_.substr(begin, end - begin), line, col, line_, own});
+    // A trailing `/* ... */ code` still counts the code via later tokens;
+    // the comment itself does not mark the line as having code.
+  }
+
+  // Identifier, or a string/char literal with an encoding prefix
+  // (u8"", u"", U"", L"", R"", and combinations like u8R"").
+  void maybe_prefixed_literal() {
+    const std::size_t begin = i_;
+    const int line = line_, col = col_;
+    std::size_t j = i_;
+    while (j < s_.size() && ident_cont(s_[j])) ++j;
+    const std::string_view word = s_.substr(begin, j - begin);
+    const bool string_prefix =
+        word == "u8" || word == "u" || word == "U" || word == "L" || word == "R" ||
+        word == "u8R" || word == "uR" || word == "UR" || word == "LR";
+    if (j < s_.size() && string_prefix && (s_[j] == '"' || s_[j] == '\'')) {
+      const char quote = s_[j];
+      while (i_ < j) advance();  // consume the prefix
+      if (quote == '"') {
+        string_literal(begin, word.back() == 'R');
+      } else {
+        char_literal(begin);
+      }
+      return;
+    }
+    while (i_ < j) advance();
+    Token t;
+    t.kind = TokKind::kIdent;
+    t.text = word;
+    t.line = line;
+    t.col = col;
+    t.preproc = in_preproc_;
+    out_.tokens.push_back(t);
+    line_has_code_ = true;
+  }
+
+  // pp-number: digits, letters, underscores, dots, digit separators,
+  // and sign characters directly after an exponent letter.
+  void number() {
+    const std::size_t begin = i_;
+    const int line = line_, col = col_;
+    const bool hex = cur() == '0' && (peek() == 'x' || peek() == 'X');
+    bool is_float = false;
+    bool exponent = false;
+    while (i_ < s_.size()) {
+      const char c = cur();
+      if (c == '.') {
+        is_float = true;
+        advance();
+        continue;
+      }
+      if (ident_cont(c) || c == '\'') {
+        const bool exp_char = (!hex && (c == 'e' || c == 'E')) || (hex && (c == 'p' || c == 'P'));
+        if (exp_char) exponent = true;
+        advance();
+        if (exp_char && i_ < s_.size() && (cur() == '+' || cur() == '-')) advance();
+        continue;
+      }
+      break;
+    }
+    if (exponent) is_float = true;
+    push(TokKind::kNumber, begin, line, col, is_float);
+  }
+
+  void string_literal(std::size_t begin, bool raw = false) {
+    const int line = line_, col = col_;
+    advance();  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::size_t d = i_;
+      while (d < s_.size() && s_[d] != '(') ++d;
+      const std::string_view delim = s_.substr(i_, d - i_);
+      while (i_ < s_.size()) {
+        if (cur() == ')' && s_.compare(i_ + 1, delim.size(), delim) == 0 &&
+            i_ + 1 + delim.size() < s_.size() && s_[i_ + 1 + delim.size()] == '"') {
+          for (std::size_t k = 0; k < delim.size() + 2; ++k) advance();
+          break;
+        }
+        advance();
+      }
+    } else {
+      while (i_ < s_.size() && cur() != '\n') {
+        if (cur() == '\\' && i_ + 1 < s_.size()) {
+          advance();
+          advance();
+          continue;
+        }
+        if (cur() == '"') {
+          advance();
+          break;
+        }
+        advance();
+      }
+    }
+    push(TokKind::kString, begin, line, col);
+  }
+
+  void char_literal(std::size_t begin) {
+    const int line = line_, col = col_;
+    advance();  // opening quote
+    while (i_ < s_.size() && cur() != '\n') {
+      if (cur() == '\\' && i_ + 1 < s_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (cur() == '\'') {
+        advance();
+        break;
+      }
+      advance();
+    }
+    push(TokKind::kChar, begin, line, col);
+  }
+
+  void punct() {
+    const std::size_t begin = i_;
+    const int line = line_, col = col_;
+    for (const std::string_view p : kPuncts) {
+      if (s_.compare(i_, p.size(), p) == 0) {
+        for (std::size_t k = 0; k < p.size(); ++k) advance();
+        push(TokKind::kPunct, begin, line, col);
+        return;
+      }
+    }
+    advance();
+    push(TokKind::kPunct, begin, line, col);
+  }
+};
+
+}  // namespace
+
+LexResult lex(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace nocsched::lint

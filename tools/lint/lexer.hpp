@@ -1,0 +1,52 @@
+#pragma once
+// A lossless-enough C++ tokenizer for nocsched-lint's token-level rules.
+//
+// This is not a conforming phase-3 lexer: it produces exactly what the
+// rule implementations need — identifiers, literals (with a float
+// classification), punctuators with longest-match, and a separate
+// comment stream (rules never see comment text; the suppression scanner
+// does).  Preprocessor lines are lexed like everything else but their
+// tokens carry `preproc = true` so rules can ignore directives.
+// Line continuations (backslash-newline) are honoured inside
+// directives, comments, and string literals.
+
+#include <string_view>
+#include <vector>
+
+namespace nocsched::lint {
+
+enum class TokKind {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< pp-number (integer or floating literal)
+  kString,  ///< string literal, any prefix, including raw strings
+  kChar,    ///< character literal
+  kPunct,   ///< operator / punctuator, longest-match
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  ///< points into the lexed source
+  int line = 0;           ///< 1-based
+  int col = 0;            ///< 1-based
+  bool preproc = false;   ///< token belongs to a preprocessor directive
+  bool is_float = false;  ///< kNumber only: floating-point literal
+};
+
+struct Comment {
+  std::string_view text;  ///< comment body without the // or /* */ fences
+  int line = 0;           ///< 1-based line the comment starts on
+  int col = 0;            ///< 1-based column of the opening fence
+  int end_line = 0;       ///< 1-based line the comment ends on
+  bool own_line = false;  ///< no code precedes the comment on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `text`.  Never throws: unterminated constructs are closed
+/// at end of input (a linter must degrade gracefully on bad files).
+[[nodiscard]] LexResult lex(std::string_view text);
+
+}  // namespace nocsched::lint

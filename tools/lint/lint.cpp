@@ -1,0 +1,117 @@
+// File collection, ordering, and output formatting for nocsched-lint.
+
+#include "lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace nocsched::lint {
+
+namespace {
+
+const std::set<std::string> kExtensions = {".hpp", ".h", ".cpp", ".cc", ".cxx"};
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string rel_slashes(const std::filesystem::path& root, const std::filesystem::path& file) {
+  std::string rel = std::filesystem::relative(file, root).generic_string();
+  return rel;
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool diag_less(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.col != b.col) return a.col < b.col;
+  return a.rule < b.rule;
+}
+
+std::vector<Diagnostic> lint_file(const std::filesystem::path& root,
+                                  const std::filesystem::path& file) {
+  return lint_source(rel_slashes(root, file), slurp(file));
+}
+
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root,
+                                  const std::vector<std::string>& targets) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& t : targets) {
+    const std::filesystem::path p = root / t;
+    if (std::filesystem::is_regular_file(p)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!std::filesystem::is_directory(p)) continue;
+    for (const auto& e : std::filesystem::recursive_directory_iterator(p)) {
+      if (e.is_regular_file() && kExtensions.count(e.path().extension().string())) {
+        files.push_back(e.path());
+      }
+    }
+  }
+  // Lexicographic file order keeps the output byte-stable regardless of
+  // directory enumeration order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Diagnostic> all;
+  for (const auto& f : files) {
+    std::vector<Diagnostic> d = lint_file(root, f);
+    all.insert(all.end(), std::make_move_iterator(d.begin()), std::make_move_iterator(d.end()));
+  }
+  std::sort(all.begin(), all.end(), diag_less);
+  return all;
+}
+
+std::string format_text(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) {
+    os << d.file << ':' << d.line << ':' << d.col << ": [" << d.rule << "] " << d.message
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string format_json(const std::vector<Diagnostic>& diags, std::string_view backend) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"nocsched-lint\",\n  \"backend\": \"" << backend
+     << "\",\n  \"count\": " << diags.size() << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << (i ? ",\n" : "\n") << "    {\"file\": \"";
+    json_escape(os, d.file);
+    os << "\", \"line\": " << d.line << ", \"col\": " << d.col << ", \"rule\": \"" << d.rule
+       << "\", \"message\": \"";
+    json_escape(os, d.message);
+    os << "\"}";
+  }
+  os << (diags.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace nocsched::lint
