@@ -13,6 +13,14 @@
 // so planner_perf trajectories stay comparable across revisions that
 // change the search engine; this bench times the `restart` strategy,
 // the planner's raw orders/sec floor.)
+//
+// It also prices the observability layer on the biggest paper system:
+// the same multistart body A/B-timed with metrics collection off and
+// on (bench::with_metrics, min of interleaved reps).  The "MOH" row
+// feeds the metrics_overhead section of BENCH_headline.json, where
+// scripts/check_overhead.sh gates the <1% enabled-path claim.
+//
+//   MOH <soc> <procs> <orders> <disabled_ms> <enabled_ms> <overhead_pct>
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +29,7 @@
 #include "common/parallel.hpp"
 #include "core/multistart.hpp"
 #include "sim/validate.hpp"
+#include "with_metrics.hpp"
 
 namespace {
 
@@ -74,8 +83,29 @@ int main() {
                   << "\n";
       }
     }
+    {
+      const core::SystemModel big =
+          core::SystemModel::paper_system("p93791", itc02::ProcessorKind::kLeon, 8, params);
+      constexpr std::uint64_t kOrders = 64;
+      core::MultistartResult scratch;
+      // Timed serially — the per-run flush cost being priced is the
+      // same at any job count, without the thread pool's scheduling
+      // jitter — and in many short pairs: a sub-1% verdict needs the
+      // pair count, not the body length, and a ~9ms window also gives
+      // the OS fewer chances to preempt mid-sample.
+      const bench::MetricsOverhead moh = bench::with_metrics(
+          [&] {
+            scratch = core::plan_tests_multistart(big, power::PowerBudget::unconstrained(),
+                                                  kOrders, 0x5EED, 1);
+          },
+          101);
+      std::cout << "MOH p93791 8 " << scratch.restarts << " " << moh.disabled_ms << " "
+                << moh.enabled_ms << " " << moh.overhead_pct << "\n";
+    }
+
     std::cout << "\n(orders/sec = full planner runs per second; MSP rows are parsed\n"
-                 "into BENCH_headline.json's planner_perf section)\n";
+                 "into BENCH_headline.json's planner_perf section, MOH rows into\n"
+                 "metrics_overhead)\n";
     if (!identical) {
       std::cerr << "bench failed: parallel multistart diverged from the serial result\n";
       return 1;

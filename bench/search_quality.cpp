@@ -69,8 +69,9 @@ int main() {
                              static_cast<double>(result.first_makespan);
           std::cout << "SQ " << soc << " " << procs << " "
                     << (fraction ? cat(*fraction) : std::string("none")) << " "
-                    << result.telemetry.strategy << " " << kIters << " "
-                    << result.telemetry.evaluations << " " << result.first_makespan << " "
+                    << result.metrics.info_or("search.strategy") << " " << kIters << " "
+                    << result.metrics.counter_or("search.evaluations") << " "
+                    << result.first_makespan << " "
                     << result.best.makespan << " " << std::fixed << std::setprecision(2)
                     << pct << "\n";
         }

@@ -1,0 +1,60 @@
+#pragma once
+// A/B harness pricing the metrics layer: times the same body with
+// collection off and on in adjacent pairs, alternating which arm goes
+// first, and reports the *median of the per-pair relative deltas*.
+// Machine drift (frequency scaling, a noisy CI neighbour) moves both
+// halves of a pair together, so per-pair deltas cancel it; the median
+// then discards the pairs a context switch still managed to hit.
+// Min-of-N per arm — the usual filter — does not work here: drift-like
+// noise has no stable floor for independent mins to converge to.
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nocsched::bench {
+
+struct MetricsOverhead {
+  double disabled_ms = 0;   ///< min-of-reps wall time, collection off
+  double enabled_ms = 0;    ///< min-of-reps wall time, collection on
+  double overhead_pct = 0;  ///< median of per-pair (on - off) / off, in %
+};
+
+template <typename Body>
+MetricsOverhead with_metrics(Body&& body, int reps = 5) {
+  obs::MetricsRegistry& reg = obs::registry();
+  const bool was_enabled = reg.enabled();
+  auto time_with = [&body, &reg](bool enabled) {
+    reg.reset();  // the enabled arm always starts from zeroed values
+    reg.set_enabled(enabled);
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  body();  // warm both arms' caches outside any timed window
+  MetricsOverhead out;
+  std::vector<double> deltas;
+  deltas.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const bool off_first = (r % 2) == 0;
+    const double a = time_with(!off_first);  // time_with(false) = off arm
+    const double b = time_with(off_first);
+    const double off = off_first ? a : b;
+    const double on = off_first ? b : a;
+    if (r == 0 || off < out.disabled_ms) out.disabled_ms = off;
+    if (r == 0 || on < out.enabled_ms) out.enabled_ms = on;
+    if (off > 0) deltas.push_back(100.0 * (on - off) / off);
+  }
+  if (!deltas.empty()) {
+    std::sort(deltas.begin(), deltas.end());
+    out.overhead_pct = deltas[deltas.size() / 2];
+  }
+  reg.reset();
+  reg.set_enabled(was_enabled);
+  return out;
+}
+
+}  // namespace nocsched::bench

@@ -4,7 +4,9 @@
 # rows as a "des_replay" array, bench_multistart_perf's rows as a
 # "planner_perf" array (each row names the search strategy and its
 # iteration budget, so trajectories stay comparable across revisions
-# that change the search engine), and bench_search_quality's rows as a
+# that change the search engine; its MOH rows become a
+# "metrics_overhead" array pricing the metrics layer, gated separately
+# by scripts/check_overhead.sh), and bench_search_quality's rows as a
 # "search_quality" array (strategy-vs-strategy best makespans at an
 # equal evaluation budget), and bench_fault_sweep's rows as a
 # "fault_sweep" array (incremental vs full-rebuild replanning
@@ -61,6 +63,7 @@ if [ -n "$des_bin" ]; then
 fi
 
 msp_json=""
+moh_json=""
 if [ -n "$msp_bin" ]; then
   msp_out=$(mktemp)
   trap 'rm -f "$headline_out" "${des_out:-}" "$msp_out"' EXIT
@@ -75,6 +78,18 @@ if [ -n "$msp_bin" ]; then
     }
     END {
       if (n == 0) { print "bench_headline_json.sh: no MSP rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$msp_out")
+  # MOH rows ride in the same bench output (absent from older binaries,
+  # so an empty result just omits the section).
+  moh_json=$(awk '
+    /^MOH / {
+      rows[++n] = sprintf(\
+        "    {\"soc\": \"%s\", \"procs\": %s, \"orders\": %s, \"disabled_ms\": %s, " \
+        "\"enabled_ms\": %s, \"overhead_pct\": %s}",
+        $2, $3, $4, $5, $6, $7)
+    }
+    END {
       for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
     }' "$msp_out")
 fi
@@ -126,6 +141,9 @@ if [ -n "$des_json" ]; then
 fi
 if [ -n "$msp_json" ]; then
   printf ',\n  "planner_perf": [\n%s\n  ]' "$msp_json"
+fi
+if [ -n "$moh_json" ]; then
+  printf ',\n  "metrics_overhead": [\n%s\n  ]' "$moh_json"
 fi
 if [ -n "$sq_json" ]; then
   printf ',\n  "search_quality": [\n%s\n  ]' "$sq_json"

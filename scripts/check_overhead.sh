@@ -1,0 +1,29 @@
+#!/bin/sh
+# Gates the observability claim "metrics collection enabled costs <1%":
+# every overhead_pct value in a BENCH_headline.json document's
+# metrics_overhead section must stay under the threshold.  Usage:
+#   check_overhead.sh <BENCH_headline.json> [max_pct]
+set -eu
+
+file=${1:?usage: check_overhead.sh <BENCH_headline.json> [max_pct]}
+max=${2:-1.0}
+
+awk -v max="$max" '
+  /"overhead_pct"/ {
+    n++
+    pct = $0
+    sub(/.*"overhead_pct": */, "", pct)
+    sub(/[,}].*/, "", pct)
+    printf "metrics overhead: %s%% (max %s%%)\n", pct, max
+    if (pct + 0 > max + 0) bad++
+  }
+  END {
+    if (n == 0) {
+      print "check_overhead.sh: no overhead_pct fields in input" > "/dev/stderr"
+      exit 1
+    }
+    if (bad > 0) {
+      printf "check_overhead.sh: %d row(s) above %s%%\n", bad, max > "/dev/stderr"
+      exit 1
+    }
+  }' "$file"

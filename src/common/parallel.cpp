@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace nocsched {
 
 unsigned hardware_jobs() {
@@ -25,10 +27,21 @@ void parallel_for(std::size_t n, unsigned jobs, const std::function<void(std::si
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
 
+  obs::MetricsRegistry& reg = obs::registry();
+  const bool metered = reg.enabled();
+  if (metered) {
+    static obs::Counter& calls = reg.counter("parallel.calls");
+    static obs::Counter& tasks = reg.counter("parallel.tasks");
+    calls.inc();
+    tasks.add(n);
+  }
+
   auto drain = [&] {
+    std::uint64_t claimed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      ++claimed;
       try {
         body(i);
       } catch (...) {
@@ -38,6 +51,14 @@ void parallel_for(std::size_t n, unsigned jobs, const std::function<void(std::si
           error = std::current_exception();
         }
       }
+    }
+    // How many indices each worker claimed is scheduling-dependent, so
+    // the distribution lives in the "wall." namespace and stays out of
+    // byte-stable outputs.
+    if (metered && claimed > 0) {
+      static obs::Histogram& per_worker = reg.histogram(
+          "wall.parallel.worker_claims", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+      per_worker.observe(claimed);
     }
   };
 

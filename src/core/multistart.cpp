@@ -21,8 +21,8 @@ MultistartResult plan_tests_multistart(const SystemModel& sys,
   MultistartResult out;
   out.best = std::move(result.best);
   out.first_makespan = result.first_makespan;
-  out.restarts = result.telemetry.evaluations;
-  out.improvements = result.telemetry.improvements;
+  out.restarts = result.metrics.counter_or("search.evaluations");
+  out.improvements = result.metrics.counter_or("search.improvements");
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nocsched::core {
 
@@ -29,6 +31,17 @@ double cheapest_over(const std::vector<PairChoice>& pairs) {
   double cheapest = std::numeric_limits<double>::infinity();
   for (const PairChoice& p : pairs) cheapest = std::min(cheapest, p.plan.power);
   return cheapest;
+}
+
+void flush_build(const std::vector<std::vector<PairChoice>>& by_module) {
+  obs::MetricsRegistry& reg = obs::registry();
+  if (!reg.enabled()) return;
+  static obs::Counter& builds = reg.counter("pair_table.builds");
+  static obs::Counter& built = reg.counter("pair_table.pairs_built");
+  std::size_t pairs = 0;
+  for (const std::vector<PairChoice>& v : by_module) pairs += v.size();
+  builds.inc();
+  built.add(pairs);
 }
 
 }  // namespace
@@ -78,15 +91,19 @@ void PairTable::build_module(const SystemModel& sys, const itc02::Module& m,
 }
 
 PairTable::PairTable(const SystemModel& sys) {
+  const obs::Span span("pair_table_build");
   by_module_.resize(sys.soc().modules.size());
   cheapest_.resize(sys.soc().modules.size());
   for (const itc02::Module& m : sys.soc().modules) build_module(sys, m, nullptr);
+  flush_build(by_module_);
 }
 
 PairTable::PairTable(const SystemModel& sys, const noc::FaultSet& faults) {
+  const obs::Span span("pair_table_build");
   by_module_.resize(sys.soc().modules.size());
   cheapest_.resize(sys.soc().modules.size());
   for (const itc02::Module& m : sys.soc().modules) build_module(sys, m, &faults);
+  flush_build(by_module_);
 }
 
 std::size_t PairTable::apply_faults(const SystemModel& sys, const noc::FaultSet& faults) {
@@ -95,6 +112,7 @@ std::size_t PairTable::apply_faults(const SystemModel& sys, const noc::FaultSet&
   if (faults.empty()) return 0;
   const std::vector<Endpoint>& eps = sys.endpoints();
   std::size_t rebuilt = 0;
+  std::size_t stale = 0;  // pairs that could not be kept verbatim
   for (const itc02::Module& m : sys.soc().modules) {
     std::vector<PairChoice>& pairs = by_module_[static_cast<std::size_t>(m.id - 1)];
     const bool dead = (m.is_processor && faults.processor_failed(m.id)) ||
@@ -121,12 +139,16 @@ std::size_t PairTable::apply_faults(const SystemModel& sys, const noc::FaultSet&
       for (PairChoice& p : pairs) {
         const Endpoint& src = eps[p.source];
         const Endpoint& snk = eps[p.sink];
-        if (endpoint_failed(src, faults) || endpoint_failed(snk, faults)) continue;
+        if (endpoint_failed(src, faults) || endpoint_failed(snk, faults)) {
+          ++stale;
+          continue;
+        }
         if (faults.route_usable(sys.mesh(), p.plan.path_in) &&
             faults.route_usable(sys.mesh(), p.plan.path_out)) {
           next.push_back(std::move(p));
           continue;
         }
+        ++stale;
         std::optional<SessionPlan> plan = plan_session(sys, m.id, src, snk, faults);
         if (!plan) continue;
         PairChoice detoured;
@@ -138,9 +160,19 @@ std::size_t PairTable::apply_faults(const SystemModel& sys, const noc::FaultSet&
         next.push_back(std::move(detoured));
       }
       sort_nearest_first(next);
+    } else {
+      stale += pairs.size();
     }
     pairs = std::move(next);
     cheapest_[static_cast<std::size_t>(m.id - 1)] = cheapest_over(pairs);
+  }
+
+  obs::MetricsRegistry& reg = obs::registry();
+  if (reg.enabled()) {
+    static obs::Counter& modules = reg.counter("pair_table.modules_rebuilt");
+    static obs::Counter& stale_pairs = reg.counter("pair_table.stale_pairs");
+    modules.add(rebuilt);
+    stale_pairs.add(stale);
   }
   return rebuilt;
 }

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "noc/reservation.hpp"
+#include "obs/metrics.hpp"
 #include "power/profile.hpp"
 
 namespace nocsched::core {
@@ -91,6 +92,7 @@ class Planner {
     // (Iterating the order — not the SoC — is what lets the fault-aware
     // replanner plan a surviving subset; for a full order they agree.)
     for (const int id : order_) {
+      ++prechecks_;
       const double cheapest = table_.cheapest_power(id);
       ensure(cheapest <= budget_.limit, "infeasible: module ", id, " ('",
              sys_.soc().module(id).name, "') needs at least ", cheapest,
@@ -157,6 +159,7 @@ class Planner {
     session.bandwidth_out = plan.bandwidth_out;
     sessions_.push_back(std::move(session));
     ends_.insert(iv.end);
+    ++commits_;
 
     // The module just planned might itself be a reusable processor.
     for (ResourceState& rs : resources_) {
@@ -189,6 +192,7 @@ class Planner {
         diagnose_stuck(pending.front(), t);
       }
       t = *next;
+      ++time_advances_;
     }
   }
 
@@ -205,6 +209,7 @@ class Planner {
     int best_hops = 0;
     const bool fastest = sys_.params().pair_order == PairOrder::kFastestFirst;
     for (const PairChoice& pc : table_.pairs(module_id)) {
+      ++probes_;
       if (resources_[pc.source].available_from > t) continue;
       if (pc.sink != pc.source && resources_[pc.sink].available_from > t) continue;
       if (best) {
@@ -238,6 +243,7 @@ class Planner {
     for (int module_id : order_) {
       std::optional<Candidate> best;
       for (const PairChoice& pc : table_.pairs(module_id)) {
+        ++probes_;
         // Unenabled processors have available_from == kNever and are
         // skipped; processors appear earlier in the priority order, so
         // their availability is known by the time plain cores plan.
@@ -302,6 +308,24 @@ class Planner {
     out.sessions = std::move(sessions_);
     out.peak_power = profile_.peak();
     out.power_limit = budget_.limit;
+
+    // Single flush per planner run: the hot loops above touch only the
+    // plain tallies, so the disabled path costs one branch here.  The
+    // Counter& caches are safe because the registry never destroys a
+    // metric, only zeroes it on reset().
+    obs::MetricsRegistry& reg = obs::registry();
+    if (reg.enabled()) {
+      static obs::Counter& runs = reg.counter("planner.runs");
+      static obs::Counter& probes = reg.counter("planner.probes");
+      static obs::Counter& prechecks = reg.counter("planner.prechecks");
+      static obs::Counter& commits = reg.counter("planner.commits");
+      static obs::Counter& advances = reg.counter("planner.time_advances");
+      runs.inc();
+      probes.add(probes_);
+      prechecks.add(prechecks_);
+      commits.add(commits_);
+      advances.add(time_advances_);
+    }
     return out;
   }
 
@@ -315,6 +339,12 @@ class Planner {
   std::vector<Session> sessions_;
   std::multiset<std::uint64_t> ends_;
   std::vector<int> order_;
+  // Plain tallies, not registry counters: a planner run lives on one
+  // thread, so the hot loops stay atomics-free and finish() flushes.
+  std::uint64_t probes_ = 0;
+  std::uint64_t prechecks_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t time_advances_ = 0;
 };
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include "core/session_model.hpp"
 #include "des/event_queue.hpp"
 #include "noc/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/budget.hpp"
 
 namespace nocsched::des {
@@ -144,6 +146,7 @@ class Replayer {
   [[nodiscard]] std::vector<LostSession> take_lost() { return std::move(lost_); }
 
   SimTrace run() {
+    const obs::Span span("replay");
     for (std::size_t i = 0; i < sessions_.size(); ++i) {
       queue_.push(sessions_[i].planned_start, {Ev::kLaunch, static_cast<int>(i)});
       pending_.push_back(static_cast<int>(i));
@@ -719,6 +722,27 @@ class Replayer {
     trace.events_processed = events_;
     trace.packets_delivered = packets_;
     trace.peak_power = observed_peak_power(trace);
+
+    // Flush once, here, where channels are walked in index order — the
+    // per-channel histogram fills identically however the event loop
+    // interleaved (it is single-threaded, but the invariant is asserted
+    // by obs_tests against the metrics-off run).
+    obs::MetricsRegistry& reg = obs::registry();
+    if (reg.enabled()) {
+      static obs::Counter& events = reg.counter("des.events");
+      static obs::Counter& packets = reg.counter("des.packets");
+      static obs::Counter& blocked = reg.counter("des.blocked_cycles");
+      static obs::Counter& sessions = reg.counter("des.sessions_replayed");
+      static obs::Histogram& busy = reg.histogram(
+          "des.channel_busy_cycles", {100, 1000, 10000, 100000, 1000000, 10000000});
+      events.add(events_);
+      packets.add(packets_);
+      sessions.add(trace.sessions.size());
+      std::uint64_t blocked_total = 0;
+      for (const SessionTrace& t : trace.sessions) blocked_total += t.blocked_cycles;
+      blocked.add(blocked_total);
+      for (const ChannelUse& c : trace.channels) busy.observe(c.busy_cycles);
+    }
     return trace;
   }
 

@@ -1,0 +1,18 @@
+#pragma once
+// The single sanctioned wall-clock read in src/ (see tools/lint D2:
+// clock.cpp is the allowlisted implementation, mirroring common/rng's
+// carve-out for randomness).  Everything in src/obs/ that needs wall
+// time calls obs::now_ms(); nothing else in src/ may read a clock, and
+// rule D6 additionally bans timing-dependent control flow in
+// src/core/ + src/search/ so wall time can observe decisions but never
+// steer them.
+
+namespace nocsched::obs {
+
+/// Monotonic wall time in milliseconds since an arbitrary epoch.
+/// Strictly an observability input: values land in the "wall."
+/// metrics namespace and trace timestamps, both excluded from the
+/// byte-stable determinism contract.
+[[nodiscard]] double now_ms();
+
+}  // namespace nocsched::obs

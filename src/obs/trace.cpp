@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "obs/clock.hpp"
+
+namespace nocsched::obs {
+
+namespace {
+
+std::atomic<TraceCollector*> g_active{nullptr};
+
+/// Minimal JSON string escaping — span names are plain identifiers,
+/// but a malformed trace must never be our fault.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceCollector::record(Event e) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceCollector::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceCollector::json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    out << "  {\"name\": \"" << escape(e.name) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << e.tid << ", \"ts\": " << static_cast<std::uint64_t>(e.start_ms * 1000.0)
+        << ", \"dur\": " << static_cast<std::uint64_t>(e.dur_ms * 1000.0);
+    if (!e.counter_deltas.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t j = 0; j < e.counter_deltas.size(); ++j) {
+        out << (j == 0 ? "" : ", ") << "\"" << escape(e.counter_deltas[j].first)
+            << "\": " << e.counter_deltas[j].second;
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+void TraceCollector::install(TraceCollector* c) {
+  g_active.store(c, std::memory_order_release);
+}
+
+TraceCollector* TraceCollector::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+Span::Span(std::string_view name) : collector_(TraceCollector::active()) {
+  if (collector_ == nullptr) return;
+  name_ = std::string(name);
+  const unsigned shard = shard_index();
+  if (registry().enabled()) {
+    for (auto& [cname, counter] : registry().counter_list()) {
+      open_.emplace_back(cname, std::make_pair(counter, counter->shard_value(shard)));
+    }
+  }
+  start_ms_ = now_ms();  // last: exclude our own setup from the window
+}
+
+Span::~Span() {
+  if (collector_ == nullptr) return;
+  const double end_ms = now_ms();
+  TraceCollector::Event e;
+  e.name = std::move(name_);
+  e.start_ms = start_ms_;
+  e.dur_ms = end_ms - start_ms_;
+  e.tid = shard_index();
+  for (const auto& [cname, at_open] : open_) {
+    const std::uint64_t now_value = at_open.first->shard_value(e.tid);
+    if (now_value > at_open.second) {
+      e.counter_deltas.emplace_back(cname, now_value - at_open.second);
+    }
+  }
+  collector_->record(std::move(e));
+}
+
+}  // namespace nocsched::obs

@@ -1,0 +1,69 @@
+#pragma once
+// Phase tracing: RAII Span scopes (parse -> pair_table_build ->
+// search[chain] -> plan -> replay -> cross_check, nested freely)
+// recorded by an explicitly installed TraceCollector and emitted as a
+// chrome://tracing-compatible JSON trace ("traceEvents", complete "X"
+// events with microsecond timestamps).
+//
+// When no collector is installed — the default — a Span is two relaxed
+// atomic loads and touches no clock, so instrumented code paths stay on
+// the deterministic, zero-cost side.  With a collector installed, each
+// span records its wall-clock window (nondeterministic by nature, like
+// the "wall." metrics namespace) plus the *deterministic* per-span
+// counter deltas, read from the current thread's own shard only so a
+// span never races another thread's live slots.  Spans close on scope
+// exit including exception unwind.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nocsched::obs {
+
+class TraceCollector {
+ public:
+  struct Event {
+    std::string name;
+    double start_ms = 0;  ///< obs::now_ms() at open
+    double dur_ms = 0;
+    unsigned tid = 0;  ///< the recording thread's shard index
+    /// Own-shard counter increments observed while the span was open.
+    std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  };
+
+  void record(Event e);
+  [[nodiscard]] std::size_t event_count() const;
+  /// The chrome://tracing JSON document ({"traceEvents": [...]}).
+  [[nodiscard]] std::string json() const;
+
+  /// Install `c` as the process-wide collector (nullptr uninstalls).
+  /// The caller keeps ownership and must outlive any open spans.
+  static void install(TraceCollector* c);
+  [[nodiscard]] static TraceCollector* active();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceCollector* collector_;  ///< nullptr = inactive, all other members unset
+  std::string name_;
+  double start_ms_ = 0;
+  /// (name, counter, own-shard value at open) for delta computation.
+  std::vector<std::pair<std::string, std::pair<const Counter*, std::uint64_t>>> open_;
+};
+
+}  // namespace nocsched::obs

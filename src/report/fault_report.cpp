@@ -63,9 +63,9 @@ std::string robustness_table(const core::SystemModel& sys, const noc::FaultSet& 
       out << "; untestable:";
       for (int id : replan->untestable_modules) out << " " << id;
     }
-    out << " (search " << replan->telemetry.strategy << ", "
-        << replan->telemetry.evaluations << " evaluations, " << replan->pairs_rebuilt
-        << " pair lists rebuilt)\n";
+    out << " (search " << replan->metrics.info_or("search.strategy") << ", "
+        << replan->metrics.counter_or("search.evaluations") << " evaluations, "
+        << replan->pairs_rebuilt << " pair lists rebuilt)\n";
   }
   return out.str();
 }
@@ -129,8 +129,9 @@ std::string robustness_json(const core::SystemModel& sys, const noc::FaultSet& f
     out << ",\n    \"untestable_modules\": ";
     json_int_array(out, replan->untestable_modules);
     out << ",\n    \"pairs_rebuilt\": " << replan->pairs_rebuilt << ",\n";
-    out << "    \"strategy\": " << json_string(replan->telemetry.strategy) << ",\n";
-    out << "    \"evaluations\": " << replan->telemetry.evaluations << "\n";
+    out << "    \"strategy\": " << json_string(replan->metrics.info_or("search.strategy"))
+        << ",\n";
+    out << "    \"evaluations\": " << replan->metrics.counter_or("search.evaluations") << "\n";
     out << "  }";
   }
   out << "\n}\n";

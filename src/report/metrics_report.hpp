@@ -1,0 +1,22 @@
+#pragma once
+// Exposition for obs::MetricsSnapshot: human text table, CSV, JSON,
+// and Prometheus text format (0.0.4).  All four are pure functions of
+// the snapshot; feed them snapshot.deterministic() to get byte-stable
+// documents (the full snapshot includes the nondeterministic "wall."
+// namespace, which the CLI prints to stderr only).
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace nocsched::report {
+
+[[nodiscard]] std::string metrics_table(const obs::MetricsSnapshot& snap);
+[[nodiscard]] std::string metrics_csv(const obs::MetricsSnapshot& snap);
+[[nodiscard]] std::string metrics_json(const obs::MetricsSnapshot& snap);
+/// Prometheus text exposition: metric names have '.' mapped to '_' and
+/// a "nocsched_" prefix; histograms emit cumulative _bucket/_sum/_count
+/// series with le labels.
+[[nodiscard]] std::string metrics_prometheus(const obs::MetricsSnapshot& snap);
+
+}  // namespace nocsched::report

@@ -3,8 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "report/json_util.hpp"
-#include "search/driver.hpp"
 
 namespace nocsched::report {
 
@@ -25,7 +25,7 @@ const char* kind_name(core::EndpointKind kind) {
 }  // namespace
 
 std::string schedule_json(const core::SystemModel& sys, const core::Schedule& schedule,
-                          const search::SearchTelemetry* search) {
+                          const obs::MetricsSnapshot* search) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"soc\": " << json_string(sys.soc().name) << ",\n";
@@ -40,15 +40,19 @@ std::string schedule_json(const core::SystemModel& sys, const core::Schedule& sc
   out << ",\n";
 
   if (search != nullptr) {
-    out << "  \"search\": {\"strategy\": " << json_string(search->strategy)
-        << ", \"iterations\": " << search->iters
-        << ", \"evaluations\": " << search->evaluations
-        << ", \"proposals\": " << search->proposals << ", \"accepted\": " << search->accepted
-        << ", \"resets\": " << search->resets << ", \"chains\": " << search->chains
-        << ", \"improvements\": " << search->improvements
-        << ", \"converged_chains\": " << search->converged_chains
-        << ", \"first_makespan\": " << search->first_makespan
-        << ", \"best_makespan\": " << search->best_makespan << "},\n";
+    // Keys and ordering are unchanged from the pre-registry schema; the
+    // values now come from the search.* metrics of the run.
+    out << "  \"search\": {\"strategy\": " << json_string(search->info_or("search.strategy"))
+        << ", \"iterations\": " << search->gauge_or("search.iterations")
+        << ", \"evaluations\": " << search->counter_or("search.evaluations")
+        << ", \"proposals\": " << search->counter_or("search.proposals")
+        << ", \"accepted\": " << search->counter_or("search.accepted")
+        << ", \"resets\": " << search->counter_or("search.resets")
+        << ", \"chains\": " << search->gauge_or("search.chains")
+        << ", \"improvements\": " << search->counter_or("search.improvements")
+        << ", \"converged_chains\": " << search->counter_or("search.converged_chains")
+        << ", \"first_makespan\": " << search->gauge_or("search.first_makespan")
+        << ", \"best_makespan\": " << search->gauge_or("search.best_makespan") << "},\n";
   }
 
   out << "  \"resources\": [\n";

@@ -8,8 +8,8 @@
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
 
-namespace nocsched::search {
-struct SearchTelemetry;  // search/driver.hpp — only named here, never inspected
+namespace nocsched::obs {
+struct MetricsSnapshot;  // obs/metrics.hpp — only named here, never inspected
 }
 
 namespace nocsched::report {
@@ -27,10 +27,12 @@ namespace nocsched::report {
 ///                 "hops_in":n,"hops_out":m}, ...]
 /// }
 /// The "search" object appears only when `search` is non-null (the plan
-/// came from search::search_orders rather than the plain greedy).
+/// came from search::search_orders rather than the plain greedy); its
+/// keys and values are read from the search.* metrics the SearchResult
+/// carries and are unchanged from the pre-registry schema.
 /// Sessions appear in start order.  Output ends with a newline.
 [[nodiscard]] std::string schedule_json(const core::SystemModel& sys,
                                         const core::Schedule& schedule,
-                                        const search::SearchTelemetry* search = nullptr);
+                                        const obs::MetricsSnapshot* search = nullptr);
 
 }  // namespace nocsched::report

@@ -6,7 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
-#include "search/driver.hpp"
+#include "obs/metrics.hpp"
 
 namespace nocsched::report {
 
@@ -33,17 +33,27 @@ std::string schedule_table(const core::SystemModel& sys, const core::Schedule& s
   return out.str();
 }
 
-std::string search_summary(const search::SearchTelemetry& t) {
+std::string search_summary(const obs::MetricsSnapshot& m) {
+  // Byte-identical to the pre-registry SearchTelemetry rendering: same
+  // fields, same order, now read from the search.* metric names.
+  const std::uint64_t evaluations = m.counter_or("search.evaluations");
+  const std::uint64_t proposals = m.counter_or("search.proposals");
+  const std::uint64_t improvements = m.counter_or("search.improvements");
+  const auto iters = static_cast<std::uint64_t>(m.gauge_or("search.iterations"));
+  const auto chains = static_cast<std::uint64_t>(m.gauge_or("search.chains"));
   std::ostringstream out;
-  out << "search: " << t.strategy << " — " << with_commas(t.evaluations)
-      << " orders evaluated (budget " << with_commas(t.iters) << ") across " << t.chains
-      << (t.chains == 1 ? " chain" : " chains") << ", " << t.improvements
-      << (t.improvements == 1 ? " improvement" : " improvements") << ", greedy "
-      << with_commas(t.first_makespan) << " -> best " << with_commas(t.best_makespan) << "\n";
-  if (t.proposals > 0) {
-    out << "        " << with_commas(t.proposals) << " proposals, " << with_commas(t.accepted)
-        << " accepted, " << with_commas(t.resets) << " descent restarts, "
-        << t.converged_chains << " chains converged early\n";
+  out << "search: " << m.info_or("search.strategy") << " — " << with_commas(evaluations)
+      << " orders evaluated (budget " << with_commas(iters) << ") across " << chains
+      << (chains == 1 ? " chain" : " chains") << ", " << improvements
+      << (improvements == 1 ? " improvement" : " improvements") << ", greedy "
+      << with_commas(static_cast<std::uint64_t>(m.gauge_or("search.first_makespan")))
+      << " -> best "
+      << with_commas(static_cast<std::uint64_t>(m.gauge_or("search.best_makespan"))) << "\n";
+  if (proposals > 0) {
+    out << "        " << with_commas(proposals) << " proposals, "
+        << with_commas(m.counter_or("search.accepted")) << " accepted, "
+        << with_commas(m.counter_or("search.resets")) << " descent restarts, "
+        << m.counter_or("search.converged_chains") << " chains converged early\n";
   }
   return out.str();
 }

@@ -7,8 +7,8 @@
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
 
-namespace nocsched::search {
-struct SearchTelemetry;  // search/driver.hpp — only named here, never inspected
+namespace nocsched::obs {
+struct MetricsSnapshot;  // obs/metrics.hpp — only named here, never inspected
 }
 
 namespace nocsched::report {
@@ -17,10 +17,11 @@ namespace nocsched::report {
 [[nodiscard]] std::string schedule_table(const core::SystemModel& sys,
                                          const core::Schedule& schedule);
 
-/// One-paragraph account of an order search: strategy, budget spent,
-/// move statistics, and greedy-vs-best makespan.  Prepended to the
+/// One-paragraph account of an order search, read from the search.*
+/// metrics a SearchResult carries: strategy, budget spent, move
+/// statistics, and greedy-vs-best makespan.  Prepended to the
 /// table/gantt output when the plan came from search::search_orders.
-[[nodiscard]] std::string search_summary(const search::SearchTelemetry& telemetry);
+[[nodiscard]] std::string search_summary(const obs::MetricsSnapshot& metrics);
 
 /// ASCII Gantt chart, one lane per resource, `width` characters for the
 /// whole makespan.

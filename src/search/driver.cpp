@@ -1,14 +1,74 @@
 #include "search/driver.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace nocsched::search {
 
 namespace {
+
+/// The per-run reduction totals, before they become a MetricsSnapshot.
+struct RunTotals {
+  std::string strategy;
+  std::uint64_t iters = 0;
+  std::uint64_t chains = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t proposals = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t improvements = 0;
+  std::uint64_t converged_chains = 0;
+  std::uint64_t first_makespan = 0;
+  std::uint64_t best_makespan = 0;
+};
+
+/// Build the per-run snapshot and, when the global registry is
+/// collecting, publish the same totals there (counters accumulate
+/// across runs; gauges and info reflect the latest run).
+obs::MetricsSnapshot publish(const RunTotals& t) {
+  obs::MetricsSnapshot snap;
+  snap.info["search.strategy"] = t.strategy;
+  snap.gauges["search.iterations"] = static_cast<std::int64_t>(t.iters);
+  snap.gauges["search.chains"] = static_cast<std::int64_t>(t.chains);
+  snap.gauges["search.first_makespan"] = static_cast<std::int64_t>(t.first_makespan);
+  snap.gauges["search.best_makespan"] = static_cast<std::int64_t>(t.best_makespan);
+  snap.counters["search.evaluations"] = t.evaluations;
+  snap.counters["search.proposals"] = t.proposals;
+  snap.counters["search.accepted"] = t.accepted;
+  snap.counters["search.resets"] = t.resets;
+  snap.counters["search.improvements"] = t.improvements;
+  snap.counters["search.converged_chains"] = t.converged_chains;
+
+  obs::MetricsRegistry& reg = obs::registry();
+  if (reg.enabled()) {
+    // References resolved once: the registry never destroys metrics.
+    static obs::Counter& runs = reg.counter("search.runs");
+    static obs::Counter& evaluations = reg.counter("search.evaluations");
+    static obs::Counter& proposals = reg.counter("search.proposals");
+    static obs::Counter& accepted = reg.counter("search.accepted");
+    static obs::Counter& resets = reg.counter("search.resets");
+    static obs::Counter& improvements = reg.counter("search.improvements");
+    static obs::Counter& converged = reg.counter("search.converged_chains");
+    runs.inc();
+    evaluations.add(t.evaluations);
+    proposals.add(t.proposals);
+    accepted.add(t.accepted);
+    resets.add(t.resets);
+    improvements.add(t.improvements);
+    converged.add(t.converged_chains);
+    reg.gauge("search.iterations").set(static_cast<std::int64_t>(t.iters));
+    reg.gauge("search.chains").set(static_cast<std::int64_t>(t.chains));
+    reg.gauge("search.first_makespan").set(static_cast<std::int64_t>(t.first_makespan));
+    reg.gauge("search.best_makespan").set(static_cast<std::int64_t>(t.best_makespan));
+    reg.set_info("search.strategy", t.strategy);
+  }
+  return snap;
+}
 
 /// Everything one chain reports back to the reduction.
 struct ChainOutcome {
@@ -81,21 +141,26 @@ SearchResult search_orders(const core::SystemModel& sys, const power::PowerBudge
 }
 
 SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options) {
+  const obs::Span span("search");
   const Strategy& strategy = strategy_for(options.strategy);
 
   SearchResult result;
   result.best = ctx.plan(ctx.base_order());
   result.first_makespan = result.best.makespan;
-  result.telemetry.strategy = std::string(strategy.name());
-  result.telemetry.iters = options.iters;
-  result.telemetry.evaluations = 1;
-  result.telemetry.first_makespan = result.first_makespan;
-  result.telemetry.best_makespan = result.best.makespan;
-  if (options.iters == 0) return result;
+  RunTotals totals;
+  totals.strategy = std::string(strategy.name());
+  totals.iters = options.iters;
+  totals.evaluations = 1;
+  totals.first_makespan = result.first_makespan;
+  totals.best_makespan = result.best.makespan;
+  if (options.iters == 0) {
+    result.metrics = publish(totals);
+    return result;
+  }
 
   const std::uint64_t chains =
       std::clamp<std::uint64_t>(strategy.chains(options.iters), 1, options.iters);
-  result.telemetry.chains = chains;
+  totals.chains = chains;
 
   // Budget split: iters / chains each, the remainder spread over the
   // lowest chain indices — a pure function of (iters, chains).
@@ -111,6 +176,7 @@ SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options)
   auto budget_of = [&](std::uint64_t c) { return base + (c < extra ? 1 : 0); };
   std::vector<ChainOutcome> outcomes(chains);
   parallel_for(chains, options.jobs, [&](std::size_t c) {
+    const obs::Span chain_span("search.chain");
     outcomes[c] = run_chain(ctx, strategy, options.seed, c, budget_of(c),
                             result.first_makespan, record_best_order);
   });
@@ -121,15 +187,15 @@ SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options)
   std::size_t best_chain = chains;  // sentinel: the deterministic pass wins
   for (std::size_t c = 0; c < chains; ++c) {
     const ChainOutcome& out = outcomes[c];
-    result.telemetry.evaluations += out.evals;
-    result.telemetry.proposals += out.proposals;
-    result.telemetry.accepted += out.accepted;
-    result.telemetry.resets += out.resets;
-    if (out.converged) ++result.telemetry.converged_chains;
+    totals.evaluations += out.evals;
+    totals.proposals += out.proposals;
+    totals.accepted += out.accepted;
+    totals.resets += out.resets;
+    if (out.converged) ++totals.converged_chains;
     if (out.best_makespan < best_makespan) {
       best_makespan = out.best_makespan;
       best_chain = c;
-      ++result.telemetry.improvements;
+      ++totals.improvements;
     }
   }
   if (best_chain < chains) {
@@ -144,7 +210,8 @@ SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options)
     result.best = ctx.plan(outcomes[best_chain].best_order);
     NOCSCHED_ASSERT(result.best.makespan == best_makespan);
   }
-  result.telemetry.best_makespan = result.best.makespan;
+  totals.best_makespan = result.best.makespan;
+  result.metrics = publish(totals);
   return result;
 }
 

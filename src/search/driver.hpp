@@ -14,10 +14,10 @@
 // the iteration budget counts the order evaluations spent beyond it.
 
 #include <cstdint>
-#include <string>
 
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
+#include "obs/metrics.hpp"
 #include "power/budget.hpp"
 #include "search/strategy.hpp"
 
@@ -32,26 +32,21 @@ struct SearchOptions {
   unsigned jobs = 1;
 };
 
-/// What the search did — emitted by report::* alongside the schedule so
-/// runs are comparable ("was that makespan 10 evaluations or 10,000?").
-struct SearchTelemetry {
-  std::string strategy;
-  std::uint64_t iters = 0;         ///< requested iteration budget
-  std::uint64_t chains = 0;        ///< independent chains run
-  std::uint64_t evaluations = 0;   ///< orders planned, incl. the deterministic pass
-  std::uint64_t proposals = 0;     ///< strategy moves evaluated (0 for restart)
-  std::uint64_t accepted = 0;      ///< proposals that replaced a chain incumbent
-  std::uint64_t resets = 0;        ///< descent restarts / diversification jumps
-  std::uint64_t improvements = 0;  ///< global-best updates during the reduction
-  std::uint64_t converged_chains = 0;  ///< chains that stopped before their budget
-  std::uint64_t first_makespan = 0;    ///< the deterministic pass's makespan
-  std::uint64_t best_makespan = 0;
-};
-
+/// Per-run record of what the search did, emitted by report::*
+/// alongside the schedule so runs are comparable ("was that makespan 10
+/// evaluations or 10,000?").  Filled from the serial chain reduction —
+/// a pure function of (system, budget, options), independent of --jobs
+/// and of whether the global obs registry is collecting.
+///
+///   info   search.strategy
+///   gauges search.iterations search.chains search.first_makespan
+///          search.best_makespan
+///   ctrs   search.evaluations search.proposals search.accepted
+///          search.resets search.improvements search.converged_chains
 struct SearchResult {
   core::Schedule best;
   std::uint64_t first_makespan = 0;
-  SearchTelemetry telemetry;
+  obs::MetricsSnapshot metrics;
 };
 
 /// Search for a low-makespan order of `sys` under `budget`.  Every

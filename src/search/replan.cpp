@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace nocsched::search {
 
 namespace {
@@ -9,6 +11,10 @@ namespace {
 ReplanResult replan_with_table(const core::SystemModel& sys, const power::PowerBudget& budget,
                                const noc::FaultSet& faults, const SearchOptions& options,
                                core::PairTable&& table, std::size_t pairs_rebuilt) {
+  // Replan latency shows up as one "replan" span (the nested search /
+  // pair-table spans decompose it) and the coverage outcome as fault.*
+  // counters when the registry is collecting.
+  const obs::Span span("replan");
   ReplanResult result;
   result.pairs_rebuilt = pairs_rebuilt;
   const std::vector<bool> testable = table.testable_modules(sys, budget.limit);
@@ -24,7 +30,21 @@ ReplanResult replan_with_table(const core::SystemModel& sys, const power::PowerB
   const EvalContext ctx(sys, budget, std::move(table), faults);
   SearchResult search = search_orders(ctx, options);
   result.schedule = std::move(search.best);
-  result.telemetry = std::move(search.telemetry);
+  result.metrics = std::move(search.metrics);
+
+  obs::MetricsRegistry& reg = obs::registry();
+  if (reg.enabled()) {
+    static obs::Counter& replans = reg.counter("fault.replans");
+    static obs::Counter& dead = reg.counter("fault.dead_modules");
+    static obs::Counter& untestable = reg.counter("fault.coverage_lost_modules");
+    static obs::Counter& planned = reg.counter("fault.planned_modules");
+    static obs::Counter& rebuilt = reg.counter("fault.pairs_rebuilt");
+    replans.inc();
+    dead.add(result.dead_modules.size());
+    untestable.add(result.untestable_modules.size());
+    planned.add(result.planned_modules.size());
+    rebuilt.add(result.pairs_rebuilt);
+  }
   return result;
 }
 

@@ -28,8 +28,8 @@
 namespace nocsched::search {
 
 struct ReplanResult {
-  core::Schedule schedule;   ///< plan covering every still-testable module
-  SearchTelemetry telemetry; ///< what the search spent finding it
+  core::Schedule schedule;      ///< plan covering every still-testable module
+  obs::MetricsSnapshot metrics; ///< what the search spent finding it (search.*)
   /// Failed processor modules — dead silicon, excluded from planning.
   std::vector<int> dead_modules;
   /// Surviving modules with no usable interface pair under the faults

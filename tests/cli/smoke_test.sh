@@ -69,12 +69,12 @@ check "--search anneal"     "$cli" --soc d695 --procs 4 --search anneal --iters 
 check "--search local"      "$cli" --soc d695 --procs 4 --search local --iters 20 --format table
 check "--search restart"    "$cli" --soc d695 --procs 4 --search restart --format table
 
-# A searched plan's JSON must carry the search telemetry object.
+# A searched plan's JSON must carry the search metrics object.
 sjson=$("$cli" --soc d695 --procs 4 --search local --iters 10 --format json 2>/dev/null)
 case $sjson in
   *'"search"'*'"strategy": "local"'*'"evaluations"'*)
-    echo "ok: search json has strategy telemetry" ;;
-  *) echo "FAIL: search json missing search telemetry" >&2
+    echo "ok: search json has strategy metrics" ;;
+  *) echo "FAIL: search json missing search metrics" >&2
      fails=$((fails + 1)) ;;
 esac
 
@@ -162,6 +162,64 @@ else
   fails=$((fails + 1))
 fi
 check "--fault-sweep json"  "$cli" --soc d695 --procs 4 --fault-sweep 2 --format json
+
+# Observability: --metrics reports to stderr in every exposition
+# format while stdout stays byte-identical to an uninstrumented run.
+plain=$("$cli" --soc d695 --procs 4 --format csv 2>/dev/null)
+for mfmt in table csv json prom; do
+  mout=$("$cli" --soc d695 --procs 4 --format csv --metrics "$mfmt" 2>/dev/null)
+  merr=$("$cli" --soc d695 --procs 4 --format csv --metrics "$mfmt" 2>&1 >/dev/null)
+  if [ -n "$merr" ] && [ "$mout" = "$plain" ]; then
+    echo "ok: --metrics $mfmt on stderr, stdout unchanged"
+  else
+    echo "FAIL: --metrics $mfmt changed stdout or wrote nothing to stderr" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# The metrics report carries the planner profile.
+merr=$("$cli" --soc d695 --procs 4 --metrics table 2>&1 >/dev/null)
+case $merr in
+  *planner.runs*) echo "ok: --metrics table reports planner.runs" ;;
+  *) echo "FAIL: metrics report missing planner.runs: $merr" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# --trace-out writes a chrome://tracing document with the phase spans.
+trace="${TMPDIR:-/tmp}/nocsched_smoke_trace.$$.json"
+if "$cli" --soc d695 --procs 4 --simulate --trace-out "$trace" >/dev/null 2>&1 &&
+   grep -q traceEvents "$trace" && grep -q '"parse"' "$trace" &&
+   grep -q '"plan"' "$trace" && grep -q '"replay"' "$trace"; then
+  echo "ok: --trace-out writes the phase spans"
+else
+  echo "FAIL: --trace-out did not produce a span trace" >&2
+  fails=$((fails + 1))
+fi
+rm -f "$trace"
+
+# --metrics / --trace-out reject a missing operand by option name.
+for opt in --metrics --trace-out; do
+  err=$("$cli" --soc d695 --procs 4 "$opt" 2>&1 >/dev/null)
+  rc=$?
+  case "$rc:$err" in
+    0:*) echo "FAIL: $opt with no operand exited 0" >&2
+         fails=$((fails + 1)) ;;
+    *"$opt expects a value"*) echo "ok: $opt missing operand rejected by name" ;;
+    *) echo "FAIL: $opt missing-operand diagnostic unclear: $err" >&2
+       fails=$((fails + 1)) ;;
+  esac
+done
+
+# ...and an unknown exposition format is named in the diagnostic.
+err=$("$cli" --soc d695 --procs 4 --metrics bogus 2>&1 >/dev/null)
+rc=$?
+case "$rc:$err" in
+  0:*) echo "FAIL: --metrics bogus exited 0" >&2
+       fails=$((fails + 1)) ;;
+  *bogus*) echo "ok: bad --metrics format named in diagnostic" ;;
+  *) echo "FAIL: --metrics bogus diagnostic unclear: $err" >&2
+     fails=$((fails + 1)) ;;
+esac
 
 # Error paths: bad values must fail loudly, not succeed quietly.
 for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1" "--search tabu" \

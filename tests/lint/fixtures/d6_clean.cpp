@@ -1,0 +1,33 @@
+// Fixture: rule D6 clean twin — wall time is recorded (assignments,
+// metric flushes) but every branch and loop bound is deterministic.
+namespace demo {
+
+double sample_wall_ms();
+
+struct Tally {
+  double wall_build_ms = 0.0;  // recorded only, never branched on
+};
+
+long plan(long n, Tally& tally) {
+  const double t0 = sample_wall_ms();
+  long makespan = 0;
+  for (long i = 0; i < n; ++i) {
+    makespan += i;
+  }
+  tally.wall_build_ms = sample_wall_ms() - t0;
+  return makespan;
+}
+
+template <bool kVerbose>
+int report(int nowhere_count) {
+  // "nowhere" merely contains "now"; only the exact clock idents match.
+  if constexpr (kVerbose) {
+    return nowhere_count;
+  }
+  if (nowhere_count > 3) {
+    return 3;
+  }
+  return nowhere_count;
+}
+
+}  // namespace demo

@@ -1,0 +1,48 @@
+// Fixture: rule D6 violations — wall-clock values steering control
+// flow in the deterministic zones.  Recording time is fine; branching
+// or looping on it makes the schedule vary run to run.
+namespace demo {
+
+double now_ms();
+double elapsed_ms();
+
+int poll_until(double deadline_ms, double now) {
+  int polls = 0;
+  while (now < deadline_ms) {  // expect[D6]
+    ++polls;
+    now += 1.0;
+  }
+  return polls;
+}
+
+int budget_loop() {
+  int done = 0;
+  for (int i = 0; elapsed_ms() < 50.0; ++i) {  // expect[D6]
+    done = i;
+  }
+  return done;
+}
+
+bool over_budget(double wall_total_ms) {
+  if (wall_total_ms > 100.0) {  // expect[D6]
+    return true;
+  }
+  return false;
+}
+
+int cutoff(double t_end) {
+  if (now_ms() > t_end) {  // expect[D6]
+    return 0;
+  }
+  return 1;
+}
+
+int drain() {
+  int rounds = 0;
+  do {
+    ++rounds;
+  } while (elapsed_ms() < 1.0);  // expect[D6]
+  return rounds;
+}
+
+}  // namespace demo

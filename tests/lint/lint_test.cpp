@@ -86,6 +86,8 @@ const Fixture kFixtures[] = {
     {"d4_clean.cpp", "src/noc/d4_clean.cpp"},
     {"d5_violation.cpp", "src/itc02/d5_violation.cpp"},
     {"d5_clean.cpp", "src/itc02/d5_clean.cpp"},
+    {"d6_violation.cpp", "src/search/d6_violation.cpp"},
+    {"d6_clean.cpp", "src/core/d6_clean.cpp"},
     {"suppress.cpp", "src/itc02/suppress.cpp"},
     {"s1_zone.cpp", "src/core/s1_zone.cpp"},
 };
@@ -104,7 +106,7 @@ TEST(LintGolden, FixturesMatchExpectMarkers) {
 
 TEST(LintGolden, CleanTwinsProduceNoFindings) {
   for (const char* name : {"d1_clean.cpp", "d2_clean.cpp", "d3_clean.cpp", "d4_clean.cpp",
-                           "d5_clean.cpp"}) {
+                           "d5_clean.cpp", "d6_clean.cpp"}) {
     SCOPED_TRACE(name);
     EXPECT_TRUE(parse_expects(read_fixture(name)).empty())
         << "clean fixtures must not carry expect markers";
@@ -145,6 +147,11 @@ TEST(LintScoping, RuleAppliesMatchesTheCatalogue) {
   EXPECT_FALSE(rule_applies("D3", "src/core/system_model.cpp"));
   EXPECT_TRUE(rule_applies("D5", "src/itc02/parser.cpp"));
   EXPECT_FALSE(rule_applies("D5", "src/report/tables.cpp"));
+  EXPECT_TRUE(rule_applies("D6", "src/core/scheduler.cpp"));
+  EXPECT_TRUE(rule_applies("D6", "src/search/driver.cpp"));
+  EXPECT_FALSE(rule_applies("D6", "src/des/replay.cpp"));
+  EXPECT_FALSE(rule_applies("D2", "src/obs/clock.cpp"));  // the sanctioned clock
+  EXPECT_TRUE(rule_applies("D2", "src/obs/metrics.cpp"));
   EXPECT_TRUE(rule_applies("S1", "src/core/schedule.cpp"));
   EXPECT_TRUE(rule_applies("S1", "src/search/driver.cpp"));
   EXPECT_FALSE(rule_applies("S1", "src/itc02/parser.cpp"));
@@ -237,7 +244,7 @@ TEST(LintCli, ListRulesNamesTheCatalogue) {
   const fs::path out = fs::path(testing::TempDir()) / "lint_rules.txt";
   EXPECT_EQ(run_lint("--list-rules", out), 0);
   const std::string text = slurp(out);
-  for (const char* rule : {"D1", "D2", "D3", "D4", "D5", "S1"}) {
+  for (const char* rule : {"D1", "D2", "D3", "D4", "D5", "D6", "S1"}) {
     EXPECT_NE(text.find(rule), std::string::npos) << text;
   }
   fs::remove(out);

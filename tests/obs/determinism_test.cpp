@@ -1,0 +1,88 @@
+// The tentpole acceptance criteria at test scope: turning metrics
+// collection on changes no byte of any schedule, and the merged
+// registry totals (the deterministic subset — everything outside
+// "wall.") are bit-identical across --jobs counts and stable per seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "search/driver.hpp"
+
+namespace nocsched::search {
+namespace {
+
+core::SystemModel paper_d695() {
+  return core::SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 4,
+                                         core::PlannerParams::paper());
+}
+
+SearchResult run_search(const core::SystemModel& sys, std::uint64_t seed, int jobs) {
+  SearchOptions options;
+  options.strategy = StrategyKind::kAnneal;
+  options.iters = 24;
+  options.seed = seed;
+  options.jobs = jobs;
+  return search_orders(sys, power::PowerBudget::unconstrained(), options);
+}
+
+TEST(MetricsDeterminism, MergedTotalsAreBitIdenticalAcrossJobs) {
+  const core::SystemModel sys = paper_d695();
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.set_enabled(true);
+  for (const std::uint64_t seed :
+       {std::uint64_t{1}, std::uint64_t{42}, std::uint64_t{0x5EED}}) {
+    std::optional<SearchResult> baseline;
+    std::optional<obs::MetricsSnapshot> baseline_global;
+    for (const int jobs : {1, 2, 8}) {
+      reg.reset();
+      const SearchResult result = run_search(sys, seed, jobs);
+      const obs::MetricsSnapshot global = reg.snapshot().deterministic();
+      if (!baseline) {
+        baseline = result;
+        baseline_global = global;
+        continue;
+      }
+      const std::string label = "seed " + std::to_string(seed) + " jobs " +
+                                std::to_string(jobs);
+      // The schedule itself is jobs-invariant...
+      EXPECT_EQ(result.best.sessions, baseline->best.sessions) << label;
+      EXPECT_EQ(result.best.makespan, baseline->best.makespan) << label;
+      // ...and so is every deterministic metric, per-run and global.
+      EXPECT_EQ(result.metrics.counters, baseline->metrics.counters) << label;
+      EXPECT_EQ(result.metrics.gauges, baseline->metrics.gauges) << label;
+      EXPECT_EQ(result.metrics.info, baseline->metrics.info) << label;
+      EXPECT_EQ(global.counters, baseline_global->counters) << label;
+      EXPECT_EQ(global.gauges, baseline_global->gauges) << label;
+      EXPECT_EQ(global.info, baseline_global->info) << label;
+    }
+  }
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST(MetricsDeterminism, EnablingCollectionChangesNoScheduleBytes) {
+  const core::SystemModel sys = paper_d695();
+  obs::MetricsRegistry& reg = obs::registry();
+  ASSERT_FALSE(reg.enabled());
+  const SearchResult dark = run_search(sys, 0x5EED, 2);
+
+  reg.set_enabled(true);
+  reg.reset();
+  const SearchResult metered = run_search(sys, 0x5EED, 2);
+  reg.reset();
+  reg.set_enabled(false);
+
+  EXPECT_EQ(metered.best.sessions, dark.best.sessions);
+  EXPECT_EQ(metered.best.makespan, dark.best.makespan);
+  EXPECT_EQ(metered.first_makespan, dark.first_makespan);
+  // The per-run snapshot is populated either way — it is part of the
+  // search result, not a side effect of global collection.
+  EXPECT_EQ(metered.metrics.counters, dark.metrics.counters);
+  EXPECT_EQ(metered.metrics.gauges, dark.metrics.gauges);
+}
+
+}  // namespace
+}  // namespace nocsched::search

@@ -1,0 +1,90 @@
+// Span/TraceCollector behavior: no-op without a collector, nested
+// spans record inner-first on close, scopes close on exception unwind,
+// and per-span counter deltas ride along when the registry is enabled.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nocsched::obs {
+namespace {
+
+/// Installs `tc` for the test body and always uninstalls on exit, so a
+/// failing assertion cannot leak a dangling collector into later tests.
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(TraceCollector& tc) { TraceCollector::install(&tc); }
+  ~ScopedCollector() { TraceCollector::install(nullptr); }
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+};
+
+TEST(Span, InactiveWithoutCollector) {
+  ASSERT_EQ(TraceCollector::active(), nullptr);
+  { const Span span("quiet"); }  // must not crash, record, or touch a clock
+  EXPECT_EQ(TraceCollector::active(), nullptr);
+}
+
+TEST(Span, NestedSpansRecordInnerFirst) {
+  TraceCollector tc;
+  {
+    const ScopedCollector active(tc);
+    const Span outer("outer");
+    { const Span inner("inner"); }
+    EXPECT_EQ(tc.event_count(), 1u);  // inner closed, outer still open
+  }
+  EXPECT_EQ(tc.event_count(), 2u);
+  const std::string json = tc.json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_LT(json.find("\"inner\""), json.find("\"outer\"")) << json;
+}
+
+TEST(Span, ClosesOnExceptionUnwind) {
+  TraceCollector tc;
+  {
+    const ScopedCollector active(tc);
+    try {
+      const Span span("doomed");
+      throw std::runtime_error("boom");
+    } catch (const std::runtime_error&) {
+    }
+  }
+  EXPECT_EQ(tc.event_count(), 1u);
+  EXPECT_NE(tc.json().find("\"doomed\""), std::string::npos) << tc.json();
+}
+
+TEST(Span, AttachesOwnShardCounterDeltas) {
+  MetricsRegistry& reg = registry();
+  reg.set_enabled(true);
+  Counter& steps = reg.counter("trace.unit.steps");  // registered before the span opens
+  TraceCollector tc;
+  {
+    const ScopedCollector active(tc);
+    const Span span("work");
+    steps.add(5);
+  }
+  reg.set_enabled(false);
+  EXPECT_NE(tc.json().find("\"trace.unit.steps\": 5"), std::string::npos) << tc.json();
+}
+
+TEST(Span, NoDeltasWhenRegistryDisabled) {
+  MetricsRegistry& reg = registry();
+  ASSERT_FALSE(reg.enabled());
+  Counter& steps = reg.counter("trace.unit.silent");
+  TraceCollector tc;
+  {
+    const ScopedCollector active(tc);
+    const Span span("work");
+    steps.add(5);
+  }
+  EXPECT_EQ(tc.event_count(), 1u);
+  EXPECT_EQ(tc.json().find("trace.unit.silent"), std::string::npos) << tc.json();
+}
+
+}  // namespace
+}  // namespace nocsched::obs

@@ -1,7 +1,8 @@
 // The search driver's contracts: the deterministic pass is the
 // baseline and the answer at iters == 0, every strategy's result is a
 // pure function of (system, budget, options) — bit-identical at every
-// job count — and the telemetry accounts for every evaluation.
+// job count — and the per-run search.* metrics account for every
+// evaluation.
 
 #include "search/driver.hpp"
 
@@ -31,9 +32,9 @@ TEST(SearchDriver, ZeroItersIsThePlainGreedy) {
     const SearchResult result = search_orders(sys, budget, options);
     EXPECT_EQ(result.best.makespan, core::plan_tests(sys, budget).makespan);
     EXPECT_EQ(result.first_makespan, result.best.makespan);
-    EXPECT_EQ(result.telemetry.evaluations, 1u);
-    EXPECT_EQ(result.telemetry.chains, 0u);
-    EXPECT_EQ(result.telemetry.improvements, 0u);
+    EXPECT_EQ(result.metrics.counter_or("search.evaluations"), 1u);
+    EXPECT_EQ(result.metrics.gauge_or("search.chains"), 0);
+    EXPECT_EQ(result.metrics.counter_or("search.improvements"), 0u);
   }
 }
 
@@ -52,7 +53,7 @@ TEST(SearchDriver, NeverWorseThanGreedyAndAlwaysValid) {
   }
 }
 
-TEST(SearchDriver, TelemetryAccountsForTheBudget) {
+TEST(SearchDriver, MetricsAccountForTheBudget) {
   const core::SystemModel sys = paper("d695", 4);
   const power::PowerBudget budget = power::PowerBudget::unconstrained();
   for (const StrategyKind kind : kAllStrategies) {
@@ -60,37 +61,43 @@ TEST(SearchDriver, TelemetryAccountsForTheBudget) {
     options.strategy = kind;
     options.iters = 40;
     const SearchResult result = search_orders(sys, budget, options);
-    const SearchTelemetry& t = result.telemetry;
-    EXPECT_EQ(t.strategy, to_string(kind));
-    EXPECT_EQ(t.iters, 40u);
-    EXPECT_GE(t.chains, 1u);
+    const obs::MetricsSnapshot& m = result.metrics;
+    const std::uint64_t evaluations = m.counter_or("search.evaluations");
+    const std::uint64_t proposals = m.counter_or("search.proposals");
+    const std::uint64_t chains = static_cast<std::uint64_t>(m.gauge_or("search.chains"));
+    EXPECT_EQ(m.info_or("search.strategy"), to_string(kind));
+    EXPECT_EQ(m.gauge_or("search.iterations"), 40);
+    EXPECT_GE(chains, 1u);
     // Evaluations: the deterministic pass plus at most the budget
     // (chains may converge early — or skip their first evaluation when
     // they warm-start from the already-evaluated base order — but
     // never overrun).
-    EXPECT_GE(t.evaluations, 1u);
-    EXPECT_LE(t.evaluations, 1u + 40u);
-    EXPECT_LE(t.accepted, t.proposals);
+    EXPECT_GE(evaluations, 1u);
+    EXPECT_LE(evaluations, 1u + 40u);
+    EXPECT_LE(m.counter_or("search.accepted"), proposals);
     // Each chain spends its evaluations on one initial order at most
     // plus one per proposal.
-    EXPECT_GE(t.proposals, t.evaluations - 1 - t.chains);
-    EXPECT_LE(t.proposals, 40u);
-    EXPECT_EQ(t.best_makespan, result.best.makespan);
-    EXPECT_EQ(t.first_makespan, result.first_makespan);
+    EXPECT_GE(proposals, evaluations - 1 - chains);
+    EXPECT_LE(proposals, 40u);
+    EXPECT_EQ(static_cast<std::uint64_t>(m.gauge_or("search.best_makespan")),
+              result.best.makespan);
+    EXPECT_EQ(static_cast<std::uint64_t>(m.gauge_or("search.first_makespan")),
+              result.first_makespan);
   }
 }
 
-TEST(SearchDriver, RestartTelemetryMatchesMultistartShape) {
+TEST(SearchDriver, RestartMetricsMatchMultistartShape) {
   const core::SystemModel sys = paper("d695", 4);
   const power::PowerBudget budget = power::PowerBudget::unconstrained();
   SearchOptions options;
   options.strategy = StrategyKind::kRestart;
   options.iters = 25;
   const SearchResult result = search_orders(sys, budget, options);
-  EXPECT_EQ(result.telemetry.chains, 25u);       // one chain per restart
-  EXPECT_EQ(result.telemetry.evaluations, 26u);  // incl. the deterministic pass
-  EXPECT_EQ(result.telemetry.proposals, 0u);     // restarts never iterate
-  EXPECT_EQ(result.telemetry.resets, 0u);
+  EXPECT_EQ(result.metrics.gauge_or("search.chains"), 25);  // one chain per restart
+  // incl. the deterministic pass
+  EXPECT_EQ(result.metrics.counter_or("search.evaluations"), 26u);
+  EXPECT_EQ(result.metrics.counter_or("search.proposals"), 0u);  // restarts never iterate
+  EXPECT_EQ(result.metrics.counter_or("search.resets"), 0u);
 }
 
 // Satellite (b): every strategy is bit-identical across job counts —
@@ -116,10 +123,12 @@ TEST(SearchDriver, EveryStrategyIsBitIdenticalAcrossJobs) {
               << soc << " " << to_string(kind) << " seed " << seed << " jobs " << jobs;
           EXPECT_EQ(parallel.best.makespan, serial.best.makespan);
           EXPECT_EQ(parallel.first_makespan, serial.first_makespan);
-          EXPECT_EQ(parallel.telemetry.evaluations, serial.telemetry.evaluations);
-          EXPECT_EQ(parallel.telemetry.proposals, serial.telemetry.proposals);
-          EXPECT_EQ(parallel.telemetry.accepted, serial.telemetry.accepted);
-          EXPECT_EQ(parallel.telemetry.improvements, serial.telemetry.improvements);
+          // The whole per-run snapshot — every counter, gauge, and
+          // info entry — must merge to identical values at any job
+          // count, not just the best schedule.
+          EXPECT_EQ(parallel.metrics.counters, serial.metrics.counters);
+          EXPECT_EQ(parallel.metrics.gauges, serial.metrics.gauges);
+          EXPECT_EQ(parallel.metrics.info, serial.metrics.info);
         }
       }
     }
@@ -139,7 +148,8 @@ TEST(SearchDriver, HardwareJobsDefaultMatchesSerial) {
     options.jobs = 0;  // one thread per hardware thread
     const SearchResult hw = search_orders(sys, budget, options);
     EXPECT_EQ(hw.best.sessions, serial.best.sessions) << to_string(kind);
-    EXPECT_EQ(hw.telemetry.accepted, serial.telemetry.accepted);
+    EXPECT_EQ(hw.metrics.counter_or("search.accepted"),
+              serial.metrics.counter_or("search.accepted"));
   }
 }
 
@@ -153,7 +163,7 @@ TEST(SearchDriver, DeterministicInSeedAndSensitiveToIt) {
   const SearchResult a = search_orders(sys, budget, options);
   const SearchResult b = search_orders(sys, budget, options);
   EXPECT_EQ(a.best.sessions, b.best.sessions);
-  EXPECT_EQ(a.telemetry.accepted, b.telemetry.accepted);
+  EXPECT_EQ(a.metrics.counter_or("search.accepted"), b.metrics.counter_or("search.accepted"));
 }
 
 }  // namespace

@@ -105,7 +105,7 @@ void expect_restart_matches_reference(const core::SystemModel& sys,
   const SearchResult result = search_orders(sys, budget, options);
   EXPECT_EQ(result.best.sessions, reference.sessions) << label;
   EXPECT_EQ(result.best.makespan, reference.makespan) << label;
-  EXPECT_EQ(result.telemetry.improvements, ref_improvements) << label;
+  EXPECT_EQ(result.metrics.counter_or("search.improvements"), ref_improvements) << label;
 
   // And the core::plan_tests_multistart compatibility shim agrees too.
   const core::MultistartResult shim =
@@ -229,7 +229,7 @@ TEST(LocalStrategy, DescendsFromThePriorityOrder) {
   options.iters = 40;
   const SearchResult result = search_orders(sys, power::PowerBudget::unconstrained(), options);
   EXPECT_LE(result.best.makespan, result.first_makespan);
-  EXPECT_GT(result.telemetry.proposals, 0u);
+  EXPECT_GT(result.metrics.counter_or("search.proposals"), 0u);
 }
 
 }  // namespace

@@ -25,6 +25,12 @@
 //   D5  src/itc02/ parser code: no floating ==/!= and no unchecked
 //       narrowing static_casts (counts must flow through checked_u64 /
 //       require_u64 / nocsched::checked_narrow)
+//   D6  no timing-dependent control flow in src/core/ or src/search/:
+//       if/while/for conditions must not read wall-clock values
+//       (`now`, `now_ms`, `*elapsed*`, `*deadline*`, `wall_*`) — time
+//       may be recorded (obs::Span, "wall." metrics, via src/obs/'s
+//       sanctioned clock) but never branched on in the deterministic
+//       zones
 //   S1  `nocsched-lint: allow(...)` suppressions are banned in
 //       src/core/ and src/search/ (the determinism-critical zones);
 //       S1 itself cannot be suppressed
@@ -44,7 +50,7 @@ struct Diagnostic {
   std::string file;  ///< repo-relative path with '/' separators
   int line = 0;
   int col = 0;
-  std::string rule;     ///< "D1".."D5", "S1"
+  std::string rule;     ///< "D1".."D6", "S1"
   std::string message;  ///< human-readable explanation
 };
 

@@ -21,7 +21,7 @@ int usage(std::ostream& os, int code) {
   os << "usage: nocsched-lint [--root DIR] [--compile-commands DIR]\n"
         "                     [--backend auto|token|ast] [--format text|json]\n"
         "                     [--json-out FILE] [--list-rules] [targets...]\n"
-        "Checks the nocsched determinism & concurrency invariants (rules D1-D5, S1).\n"
+        "Checks the nocsched determinism & concurrency invariants (rules D1-D6, S1).\n"
         "Targets default to src/ under --root.  Exit: 0 clean, 1 findings, 2 error.\n";
   return code;
 }
@@ -36,6 +36,9 @@ void list_rules(std::ostream& os) {
         "outside their owning files\n"
         "D5  src/itc02/: no floating ==/!=, no unchecked narrowing static_cast "
         "(use checked_u64/require_u64/checked_narrow)\n"
+        "D6  no timing-dependent control flow in src/core/ or src/search/: no "
+        "wall-clock identifiers (now/now_ms/*elapsed*/*deadline*/wall_*) in "
+        "if/while/for conditions (allowlist for the clock itself: src/obs/clock.*)\n"
         "S1  'nocsched-lint: allow(...)' suppressions banned in src/core/ and "
         "src/search/ (cannot itself be suppressed)\n"
         "Suppress elsewhere with: // nocsched-lint: allow(D1) or allow(D1, D4)\n";

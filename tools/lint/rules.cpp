@@ -29,6 +29,11 @@ const std::set<std::string_view> kD2Exempt = {
     // randomness; everything else must draw from it.
     "src/common/rng.hpp",
     "src/common/rng.cpp",
+    // The observability clock is the sanctioned wall-time source: the
+    // one steady_clock read in src/, feeding only the "wall." metrics
+    // namespace and span traces (never control flow — see D6).
+    "src/obs/clock.hpp",
+    "src/obs/clock.cpp",
 };
 
 // D4's protected types and the files allowed to take them any way they
@@ -51,6 +56,9 @@ bool rule_applies(std::string_view rule, std::string_view rel_path) {
   if (rule == "D3") return starts_with(rel_path, "src/search/");
   if (rule == "D4") return starts_with(rel_path, "src/");
   if (rule == "D5") return starts_with(rel_path, "src/itc02/");
+  if (rule == "D6") {
+    return starts_with(rel_path, "src/core/") || starts_with(rel_path, "src/search/");
+  }
   if (rule == "S1") {
     return starts_with(rel_path, "src/core/") || starts_with(rel_path, "src/search/");
   }
@@ -631,6 +639,40 @@ void rule_d5(const Stream& s, const Sink& sink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// D6 — no timing-dependent control flow in the deterministic zones.
+// obs::Span and the "wall." metrics may *record* time in src/core/ and
+// src/search/, but a branch or loop that reads a clock value decides
+// differently run to run — exactly the nondeterminism the planner and
+// search driver promise away.
+
+bool timing_ident(std::string_view name) {
+  if (name == "now" || name == "now_ms") return true;
+  if (starts_with(name, "wall_")) return true;
+  return name.find("elapsed") != std::string_view::npos ||
+         name.find("deadline") != std::string_view::npos;
+}
+
+void rule_d6(const Stream& s, const Sink& sink) {
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    if (!(s.ident(i, "if") || s.ident(i, "while") || s.ident(i, "for"))) continue;
+    std::size_t open = i + 1;
+    if (s.ident(i, "if") && s.ident(open, "constexpr")) ++open;
+    if (!s.is(open, "(")) continue;
+    const std::size_t close = s.match(open);
+    if (close == npos) continue;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (!s.ident(j) || !timing_ident(s.at(j).text)) continue;
+      sink.add(s.at(j), "D6",
+               "timing-dependent control flow: '" + std::string(s.at(j).text) +
+                   "' in a condition makes this branch vary run to run — wall time may "
+                   "be recorded (obs::Span, \"wall.\" metrics) but never decided on in "
+                   "src/core/ or src/search/");
+      break;  // one finding per statement
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -651,6 +693,7 @@ std::vector<Diagnostic> lint_source(std::string_view rel_path, std::string_view 
   if (rule_applies("D3", rel_path)) rule_d3(s, sink);
   if (rule_applies("D4", rel_path)) rule_d4(s, rel_path, sink);
   if (rule_applies("D5", rel_path)) rule_d5(s, sink);
+  if (rule_applies("D6", rel_path)) rule_d6(s, sink);
 
   const std::vector<Suppression> sups = parse_suppressions(lexed.comments);
   const auto by_line = suppression_map(sups);

@@ -40,12 +40,18 @@
 //   --fault-sweep K     replay + replan K seeded random fault scenarios
 //                       (one random link each, sometimes a processor)
 //   --fault-seed S      RNG seed for --fault-sweep (default 0xFA017)
+//   --metrics <fmt>     collect metrics and print a report to stderr
+//                       after the run: table | csv | json | prom
+//                       (stdout stays byte-identical to a plain run)
+//   --trace-out <file>  record phase spans and write a chrome://tracing
+//                       JSON document to <file>
 //
 // With any fault option the CLI plans the pristine system, replays that
 // plan on the degraded mesh (classifying every session as unaffected /
 // delayed / unroutable), then replans fault-aware and reports both.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -62,8 +68,12 @@
 #include "des/replay.hpp"
 #include "itc02/parser.hpp"
 #include "noc/fault.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/fault_report.hpp"
 #include "report/json_util.hpp"
+#include "report/metrics_report.hpp"
 #include "report/schedule_json.hpp"
 #include "report/schedule_text.hpp"
 #include "report/trace_report.hpp"
@@ -100,6 +110,8 @@ struct Options {
   std::string fail_procs;    // "N,M" module ids
   std::uint64_t fault_sweep = 0;
   std::optional<std::uint64_t> fault_seed;  // default 0xFA017; only with --fault-sweep
+  std::string metrics;    // report format, empty = no metrics collection
+  std::string trace_out;  // chrome://tracing output path, empty = no trace
 
   [[nodiscard]] bool fault_mode() const {
     return !fail_links.empty() || !fail_routers.empty() || !fail_procs.empty() ||
@@ -116,6 +128,7 @@ struct Options {
                "       [--wrapper N] [--format table|gantt|csv|json|all] [--mesh CxR]\n"
                "       [--simulate] [--fail-links A:B,...] [--fail-routers N,...]\n"
                "       [--fail-procs N,...] [--fault-sweep K] [--fault-seed S]\n"
+               "       [--metrics table|csv|json|prom] [--trace-out FILE]\n"
                "  --search picks the order-search strategy and --iters its\n"
                "  order-evaluation budget (--restarts N is a legacy alias for\n"
                "  --search restart --iters N); --seed makes search runs\n"
@@ -125,7 +138,8 @@ struct Options {
                "  reports observed vs planned timing; --fail-links/--fail-routers/\n"
                "  --fail-procs inject faults (the pristine plan is replayed on the\n"
                "  degraded mesh and then replanned fault-aware); --fault-sweep runs\n"
-               "  K seeded random fault scenarios.\n";
+               "  K seeded random fault scenarios; --metrics prints a metrics report\n"
+               "  to stderr and --trace-out writes a chrome://tracing phase trace.\n";
   std::exit(2);
 }
 
@@ -135,7 +149,8 @@ Options parse_args(int argc, char** argv) {
   static const std::set<std::string> value_keys = {
       "soc",  "soc-file", "cpu",  "procs",   "power",  "policy", "choice", "search",
       "iters", "restarts", "seed", "jobs", "wrapper", "format", "mesh",
-      "fail-links", "fail-routers", "fail-procs", "fault-sweep", "fault-seed"};
+      "fail-links", "fail-routers", "fail-procs", "fault-sweep", "fault-seed",
+      "metrics", "trace-out"};
   static const std::set<std::string> flag_keys = {"simulate"};
 
   Options opt;
@@ -218,6 +233,13 @@ Options parse_args(int argc, char** argv) {
       ensure(opt.fault_sweep > 0, "--fault-sweep expects at least 1 scenario");
     } else if (key == "fault-seed") {
       opt.fault_seed = parse_u64(value, "--fault-seed");
+    } else if (key == "metrics") {
+      ensure(value == "table" || value == "csv" || value == "json" || value == "prom",
+             "unknown --metrics format '", value, "' (expected table|csv|json|prom)");
+      opt.metrics = value;
+    } else if (key == "trace-out") {
+      ensure(!value.empty(), "--trace-out expects a file path");
+      opt.trace_out = value;
     } else if (key == "wrapper") {
       opt.wrapper = static_cast<std::uint32_t>(parse_u64(value, "--wrapper"));
     } else if (key == "format") {
@@ -415,32 +437,33 @@ int run_fault_sweep(const Options& opt, const core::SystemModel& sys,
   return 0;
 }
 
-}  // namespace
+int run(const Options& opt) {
+  core::PlannerParams params = core::PlannerParams::paper();
+  params.priority = opt.policy;
+  params.resource_choice = opt.choice;
+  params.wrapper_chains = opt.wrapper;
 
-int main(int argc, char** argv) {
-  try {
-    const Options opt = parse_args(argc, argv);
-    core::PlannerParams params = core::PlannerParams::paper();
-    params.priority = opt.policy;
-    params.resource_choice = opt.choice;
-    params.wrapper_chains = opt.wrapper;
+  const core::SystemModel sys = [&] {
+    const obs::Span span("parse");
+    return build_system(opt, params);
+  }();
+  const power::PowerBudget budget =
+      opt.power_pct ? power::PowerBudget::fraction_of_total(sys.soc(), *opt.power_pct / 100.0)
+                    : power::PowerBudget::unconstrained();
 
-    const core::SystemModel sys = build_system(opt, params);
-    const power::PowerBudget budget =
-        opt.power_pct ? power::PowerBudget::fraction_of_total(sys.soc(), *opt.power_pct / 100.0)
-                      : power::PowerBudget::unconstrained();
+  const bool all = opt.format == "all";
+  if (opt.format != "table" && opt.format != "gantt" && opt.format != "csv" &&
+      opt.format != "json" && !all) {
+    fail("unknown --format '", opt.format, "'");
+  }
 
-    const bool all = opt.format == "all";
-    if (opt.format != "table" && opt.format != "gantt" && opt.format != "csv" &&
-        opt.format != "json" && !all) {
-      fail("unknown --format '", opt.format, "'");
-    }
-
-    // Search runs when any of --search/--iters/--restarts asks for it;
-    // --restarts N is the legacy spelling of --search restart --iters N.
-    const bool searching = opt.strategy.has_value() || opt.iters.has_value() || opt.restarts > 0;
-    core::Schedule schedule;
-    std::optional<search::SearchTelemetry> telemetry;
+  // Search runs when any of --search/--iters/--restarts asks for it;
+  // --restarts N is the legacy spelling of --search restart --iters N.
+  const bool searching = opt.strategy.has_value() || opt.iters.has_value() || opt.restarts > 0;
+  core::Schedule schedule;
+  std::optional<obs::MetricsSnapshot> search_metrics;
+  {
+    const obs::Span span("plan");
     if (searching) {
       search::SearchOptions options;
       options.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
@@ -449,70 +472,114 @@ int main(int argc, char** argv) {
       options.jobs = opt.jobs;
       search::SearchResult result = search::search_orders(sys, budget, options);
       schedule = std::move(result.best);
-      telemetry = std::move(result.telemetry);
-      std::cerr << report::search_summary(*telemetry);
+      search_metrics = std::move(result.metrics);
+      std::cerr << report::search_summary(*search_metrics);
     } else {
       schedule = core::plan_tests(sys, budget);
     }
-    sim::validate_or_throw(sys, schedule);
+  }
+  sim::validate_or_throw(sys, schedule);
 
-    if (opt.fault_mode()) {
-      // The replan inherits the pristine run's search configuration, so
-      // a searched plan is replanned with the same effort (a plain
-      // greedy run replans greedily).
-      search::SearchOptions ropts;
-      ropts.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
-      ropts.iters = searching ? opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256) : 0;
-      ropts.seed = opt.seed;
-      ropts.jobs = opt.jobs;
-      return opt.fault_sweep > 0
-                 ? run_fault_sweep(opt, sys, budget, schedule, ropts, all)
-                 : run_fault_scenario(opt, sys, budget, schedule, ropts, all);
-    }
+  if (opt.fault_mode()) {
+    // The replan inherits the pristine run's search configuration, so
+    // a searched plan is replanned with the same effort (a plain
+    // greedy run replans greedily).
+    search::SearchOptions ropts;
+    ropts.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
+    ropts.iters = searching ? opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256) : 0;
+    ropts.seed = opt.seed;
+    ropts.jobs = opt.jobs;
+    return opt.fault_sweep > 0
+               ? run_fault_sweep(opt, sys, budget, schedule, ropts, all)
+               : run_fault_scenario(opt, sys, budget, schedule, ropts, all);
+  }
 
-    if (opt.simulate) {
-      const des::SimTrace trace = des::replay(sys, schedule);
-      const sim::CrossCheckReport check = sim::cross_check(sys, schedule, trace);
-      if (opt.format == "table" || all) {
-        std::cout << report::trace_table(sys, trace, check);
-      }
-      if (opt.format == "gantt" || all) {
-        // Observed timing on the familiar per-resource lanes.
-        std::cout << report::gantt(sys, report::observed_schedule(schedule, trace));
-      }
-      if (opt.format == "csv" || all) {
-        std::cout << report::trace_csv(sys, trace);
-      }
-      if (opt.format == "json" || all) {
-        std::cout << report::trace_json(sys, trace, check);
-      }
-      if (!check.ok()) {
-        std::cerr << "cross-check failed:\n";
-        for (const std::string& m : check.mismatches) std::cerr << "  - " << m << "\n";
-        return 1;
-      }
-      return 0;
-    }
-
+  if (opt.simulate) {
+    const des::SimTrace trace = des::replay(sys, schedule);
+    const sim::CrossCheckReport check = [&] {
+      const obs::Span span("cross_check");
+      return sim::cross_check(sys, schedule, trace);
+    }();
     if (opt.format == "table" || all) {
-      std::cout << report::schedule_table(sys, schedule);
+      std::cout << report::trace_table(sys, trace, check);
     }
     if (opt.format == "gantt" || all) {
-      std::cout << report::gantt(sys, schedule);
+      // Observed timing on the familiar per-resource lanes.
+      std::cout << report::gantt(sys, report::observed_schedule(schedule, trace));
     }
     if (opt.format == "csv" || all) {
-      CsvWriter csv(std::cout, {"module", "name", "source", "sink", "start", "end", "power"});
-      for (const core::Session& s : schedule.sessions) {
-        csv.row_of(s.module_id, sys.soc().module(s.module_id).name,
-                   sys.endpoints()[static_cast<std::size_t>(s.source_resource)].name(),
-                   sys.endpoints()[static_cast<std::size_t>(s.sink_resource)].name(),
-                   s.start, s.end, cat(s.power));
-      }
+      std::cout << report::trace_csv(sys, trace);
     }
     if (opt.format == "json" || all) {
-      std::cout << report::schedule_json(sys, schedule, telemetry ? &*telemetry : nullptr);
+      std::cout << report::trace_json(sys, trace, check);
+    }
+    if (!check.ok()) {
+      std::cerr << "cross-check failed:\n";
+      for (const std::string& m : check.mismatches) std::cerr << "  - " << m << "\n";
+      return 1;
     }
     return 0;
+  }
+
+  if (opt.format == "table" || all) {
+    std::cout << report::schedule_table(sys, schedule);
+  }
+  if (opt.format == "gantt" || all) {
+    std::cout << report::gantt(sys, schedule);
+  }
+  if (opt.format == "csv" || all) {
+    CsvWriter csv(std::cout, {"module", "name", "source", "sink", "start", "end", "power"});
+    for (const core::Session& s : schedule.sessions) {
+      csv.row_of(s.module_id, sys.soc().module(s.module_id).name,
+                 sys.endpoints()[static_cast<std::size_t>(s.source_resource)].name(),
+                 sys.endpoints()[static_cast<std::size_t>(s.sink_resource)].name(),
+                 s.start, s.end, cat(s.power));
+    }
+  }
+  if (opt.format == "json" || all) {
+    std::cout << report::schedule_json(sys, schedule,
+                                       search_metrics ? &*search_metrics : nullptr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    // Observability is opt-in: without --metrics/--trace-out the
+    // registry stays disabled and every flush site is a relaxed load.
+    if (!opt.metrics.empty() || !opt.trace_out.empty()) {
+      obs::registry().set_enabled(true);
+    }
+    obs::TraceCollector collector;
+    if (!opt.trace_out.empty()) obs::TraceCollector::install(&collector);
+    const double start_ms = obs::now_ms();
+    const int rc = run(opt);
+    if (!opt.trace_out.empty()) {
+      obs::TraceCollector::install(nullptr);
+      std::ofstream out(opt.trace_out);
+      ensure(out.good(), "cannot open --trace-out file '", opt.trace_out, "'");
+      out << collector.json();
+      ensure(out.good(), "failed writing --trace-out file '", opt.trace_out, "'");
+    }
+    if (!opt.metrics.empty()) {
+      obs::registry().set_wall_ms("wall.cli_total", obs::now_ms() - start_ms);
+      // The report goes to stderr so stdout stays byte-identical to a
+      // metrics-free run (asserted by cli.smoke and obs_tests).
+      const obs::MetricsSnapshot snap = obs::registry().snapshot();
+      if (opt.metrics == "table") {
+        std::cerr << report::metrics_table(snap);
+      } else if (opt.metrics == "csv") {
+        std::cerr << report::metrics_csv(snap);
+      } else if (opt.metrics == "json") {
+        std::cerr << report::metrics_json(snap);
+      } else {
+        std::cerr << report::metrics_prometheus(snap);
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "nocsched_cli: " << e.what() << "\n";
     return 1;
