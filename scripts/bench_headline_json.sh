@@ -8,21 +8,25 @@
 # "metrics_overhead" array pricing the metrics layer, gated separately
 # by scripts/check_overhead.sh), and bench_search_quality's rows as a
 # "search_quality" array (strategy-vs-strategy best makespans at an
-# equal evaluation budget), and bench_fault_sweep's rows as a
+# equal evaluation budget), bench_fault_sweep's rows as a
 # "fault_sweep" array (incremental vs full-rebuild replanning
-# throughput).  Used to record BENCH_headline.json data points (locally
-# and from CI).  Usage:
+# throughput), and bench_fault_stream's rows as a "fault_stream" array
+# (per-event replan-latency quantiles, cold vs incremental+warm, plus
+# coverage retained and makespan stretch over the timeline).  Used to
+# record BENCH_headline.json data points (locally and from CI).  Usage:
 #   bench_headline_json.sh <path-to-bench_headline> [git-rev] \
 #     [path-to-bench_des_replay] [path-to-bench_multistart_perf] \
-#     [path-to-bench_search_quality] [path-to-bench_fault_sweep]
+#     [path-to-bench_search_quality] [path-to-bench_fault_sweep] \
+#     [path-to-bench_fault_stream]
 set -eu
 
-bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality] [path-to-bench_fault_sweep]}
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality] [path-to-bench_fault_sweep] [path-to-bench_fault_stream]}
 rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
 des_bin=${3:-}
 msp_bin=${4:-}
 sq_bin=${5:-}
 fs_bin=${6:-}
+fst_bin=${7:-}
 
 headline_out=$(mktemp)
 trap 'rm -f "$headline_out"' EXIT
@@ -133,6 +137,26 @@ if [ -n "$fs_bin" ]; then
     }' "$fs_out")
 fi
 
+fst_json=""
+if [ -n "$fst_bin" ]; then
+  fst_out=$(mktemp)
+  trap 'rm -f "$headline_out" "${des_out:-}" "${msp_out:-}" "${sq_out:-}" "${fs_out:-}" "$fst_out"' EXIT
+  "$fst_bin" > "$fst_out"
+  fst_json=$(awk '
+    /^FST / {
+      rows[++n] = sprintf(\
+        "    {\"soc\": \"%s\", \"procs\": %s, \"events\": %s, \"covered\": %s, " \
+        "\"total\": %s, \"coverage_retained\": %s, \"makespan_stretch\": %s, " \
+        "\"cold_p50_ms\": %s, \"cold_p99_ms\": %s, \"incr_p50_ms\": %s, " \
+        "\"incr_p99_ms\": %s, \"speedup_p50\": %s}",
+        $2, $3, $4, $5, $6, $7, $8, $9, $10, $11, $12, $13)
+    }
+    END {
+      if (n == 0) { print "bench_headline_json.sh: no FST rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$fst_out")
+fi
+
 printf '{\n  "bench": "headline",\n  "date": "%s",\n  "rev": "%s",\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rev"
 printf '  "claims": [\n%s\n  ]' "$claims_json"
@@ -150,5 +174,8 @@ if [ -n "$sq_json" ]; then
 fi
 if [ -n "$fs_json" ]; then
   printf ',\n  "fault_sweep": [\n%s\n  ]' "$fs_json"
+fi
+if [ -n "$fst_json" ]; then
+  printf ',\n  "fault_stream": [\n%s\n  ]' "$fst_json"
 fi
 printf '\n}\n'

@@ -179,12 +179,25 @@ std::size_t PairTable::apply_faults(const SystemModel& sys, const noc::FaultSet&
 
 std::vector<bool> PairTable::testable_modules(const SystemModel& sys,
                                               double power_limit) const {
+  return testable_modules(sys, power_limit, {});
+}
+
+std::vector<bool> PairTable::testable_modules(const SystemModel& sys, double power_limit,
+                                              std::span<const int> pretested) const {
   const std::vector<Endpoint>& eps = sys.endpoints();
+  std::vector<bool> done(by_module_.size(), false);
+  for (const int id : pretested) {
+    ensure(id >= 1 && static_cast<std::size_t>(id) <= by_module_.size(),
+           "testable_modules: unknown pretested module id ", id);
+    done[static_cast<std::size_t>(id - 1)] = true;
+  }
   std::vector<bool> testable(by_module_.size());
   for (std::size_t i = 0; i < by_module_.size(); ++i) testable[i] = !by_module_[i].empty();
   // Fixpoint: dropping a processor can strand the cores it exclusively
   // served, which can strand further processors, and so on.  Terminates
-  // because bits only ever clear.
+  // because bits only ever clear.  Pretested processors serve
+  // unconditionally — their own test already happened in an earlier
+  // epoch, so they never strand a client.
   for (bool changed = true; changed;) {
     changed = false;
     for (const itc02::Module& m : sys.soc().modules) {
@@ -197,6 +210,7 @@ std::vector<bool> PairTable::testable_modules(const SystemModel& sys,
         for (const std::size_t e : {p.source, p.sink}) {
           const Endpoint& ep = eps[e];
           if (ep.is_processor() &&
+              !done[static_cast<std::size_t>(ep.processor_module - 1)] &&
               !testable[static_cast<std::size_t>(ep.processor_module - 1)]) {
             servers_alive = false;
             break;

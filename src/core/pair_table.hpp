@@ -82,6 +82,15 @@ class PairTable {
   [[nodiscard]] std::vector<bool> testable_modules(const SystemModel& sys,
                                                    double power_limit) const;
 
+  /// As above for mid-timeline replans: processors named in `pretested`
+  /// (ascending module ids) already passed their own test in an earlier
+  /// epoch, so they serve unconditionally — a pair through a pretested
+  /// processor is usable even though that processor's test is absent
+  /// from the current plan.  A pretested processor that later died
+  /// contributes nothing (apply_faults already dropped its pairs).
+  [[nodiscard]] std::vector<bool> testable_modules(const SystemModel& sys, double power_limit,
+                                                   std::span<const int> pretested) const;
+
  private:
   [[nodiscard]] std::size_t index_of(int module_id) const;
   void build_module(const SystemModel& sys, const itc02::Module& m,

@@ -74,7 +74,7 @@ struct Candidate {
 class Planner {
  public:
   Planner(const SystemModel& sys, const power::PowerBudget& budget, std::vector<int> order,
-          const PairTable& table)
+          const PairTable& table, std::span<const int> pretested = {})
       : sys_(sys),
         budget_(budget),
         table_(table),
@@ -85,6 +85,13 @@ class Planner {
       ResourceState rs;
       rs.ep = ep;
       rs.available_from = ep.is_processor() ? kNever : 0;
+      // Pretested processors (tested in an earlier timeline epoch)
+      // serve from instant 0 — their own test is not part of this plan.
+      if (ep.is_processor()) {
+        for (const int id : pretested) {
+          if (ep.processor_module == id) rs.available_from = 0;
+        }
+      }
       resources_.push_back(std::move(rs));
     }
     // Feasibility precheck: every core offered for planning must have at
@@ -463,6 +470,12 @@ Schedule plan_tests_with_order(const SystemModel& sys, const power::PowerBudget&
 
 Schedule plan_tests_subset(const SystemModel& sys, const power::PowerBudget& budget,
                            const std::vector<int>& order, const PairTable& pairs) {
+  return plan_tests_subset(sys, budget, order, pairs, {});
+}
+
+Schedule plan_tests_subset(const SystemModel& sys, const power::PowerBudget& budget,
+                           const std::vector<int>& order, const PairTable& pairs,
+                           std::span<const int> pretested) {
   std::vector<int> sorted = order;
   std::sort(sorted.begin(), sorted.end());
   for (std::size_t i = 0; i < sorted.size(); ++i) {
@@ -471,7 +484,17 @@ Schedule plan_tests_subset(const SystemModel& sys, const power::PowerBudget& bud
     ensure(i == 0 || sorted[i] != sorted[i - 1], "plan_tests_subset: module ", sorted[i],
            " appears twice in the order");
   }
-  return Planner(sys, budget, order, pairs).run();
+  for (std::size_t i = 0; i < pretested.size(); ++i) {
+    const int id = pretested[i];
+    ensure(id >= 1 && static_cast<std::size_t>(id) <= sys.soc().modules.size() &&
+               sys.soc().module(id).is_processor,
+           "plan_tests_subset: pretested id ", id, " is not a processor module");
+    ensure(i == 0 || pretested[i - 1] < id, "plan_tests_subset: pretested ids must be "
+           "ascending and unique, got ", id);
+    ensure(std::find(order.begin(), order.end(), id) == order.end(),
+           "plan_tests_subset: pretested processor ", id, " also appears in the order");
+  }
+  return Planner(sys, budget, order, pairs, pretested).run();
 }
 
 }  // namespace nocsched::core

@@ -86,4 +86,15 @@ namespace nocsched::core {
                                          const std::vector<int>& order,
                                          const PairTable& pairs);
 
+/// As above for mid-timeline replans: processors named in `pretested`
+/// already completed their own test in an earlier epoch, so they serve
+/// from instant 0 even though their test session is absent from this
+/// plan.  `pretested` must name processor modules of `sys`; ids may not
+/// repeat or appear in `order` (a completed test is never replanned).
+[[nodiscard]] Schedule plan_tests_subset(const SystemModel& sys,
+                                         const power::PowerBudget& budget,
+                                         const std::vector<int>& order,
+                                         const PairTable& pairs,
+                                         std::span<const int> pretested);
+
 }  // namespace nocsched::core

@@ -136,8 +136,9 @@ std::uint64_t ceil_cycles(double v) {
 class Replayer {
  public:
   Replayer(const core::SystemModel& sys, const core::Schedule& schedule,
-           const noc::FaultSet* faults)
+           const noc::FaultSet* faults, std::span<const int> pretested = {})
       : sys_(sys), schedule_(schedule), faults_(faults),
+        pretested_(pretested.begin(), pretested.end()),
         channels_(sys.mesh().channel_count()) {
     endpoint_busy_.assign(sys_.endpoints().size(), false);
     build_sessions();
@@ -420,6 +421,11 @@ class Replayer {
   }
 
   bool processor_done(int module_id) const {
+    // A processor tested to completion in an earlier timeline epoch
+    // serves from instant 0 — its test is deliberately absent here.
+    for (const int id : pretested_) {
+      if (id == module_id) return true;
+    }
     for (const SessionState& s : sessions_) {
       if (s.module_id == module_id) return s.done;
     }
@@ -749,6 +755,7 @@ class Replayer {
   const core::SystemModel& sys_;
   const core::Schedule& schedule_;
   const noc::FaultSet* faults_ = nullptr;
+  std::vector<int> pretested_;
   std::vector<LostSession> lost_;
   std::vector<SessionState> sessions_;
   std::vector<ChannelState> channels_;
@@ -771,7 +778,12 @@ SimTrace replay(const core::SystemModel& sys, const core::Schedule& schedule) {
 
 DegradedReplay replay_degraded(const core::SystemModel& sys, const core::Schedule& schedule,
                                const noc::FaultSet& faults) {
-  Replayer replayer(sys, schedule, &faults);
+  return replay_degraded(sys, schedule, faults, {});
+}
+
+DegradedReplay replay_degraded(const core::SystemModel& sys, const core::Schedule& schedule,
+                               const noc::FaultSet& faults, std::span<const int> pretested) {
+  Replayer replayer(sys, schedule, &faults, pretested);
   DegradedReplay result;
   result.trace = replayer.run();
   result.lost = replayer.take_lost();

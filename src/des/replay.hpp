@@ -42,6 +42,7 @@
 // nocsched::Error on structurally broken input (bad resource indices,
 // unknown modules, or a plan whose dependencies can never be met).
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,5 +80,14 @@ struct DegradedReplay {
 [[nodiscard]] DegradedReplay replay_degraded(const core::SystemModel& sys,
                                              const core::Schedule& schedule,
                                              const noc::FaultSet& faults);
+
+/// As above for a mid-timeline epoch: processors in `pretested`
+/// completed their own test in an earlier epoch, so sessions they serve
+/// launch without waiting for (or losing) a processor test this plan
+/// deliberately omits.
+[[nodiscard]] DegradedReplay replay_degraded(const core::SystemModel& sys,
+                                             const core::Schedule& schedule,
+                                             const noc::FaultSet& faults,
+                                             std::span<const int> pretested);
 
 }  // namespace nocsched::des

@@ -1,0 +1,40 @@
+#pragma once
+// Renderings of an online fault-timeline run: per-epoch replan story,
+// session fates at every event, and the headline coverage/makespan
+// outcome.  Same three surfaces as every other report — human table,
+// CSV rows, stable JSON.  All three are byte-stable for identical
+// inputs: the nondeterministic wall-clock replan latencies recorded in
+// EpochRecord::replan_wall_ms are deliberately not rendered (they
+// belong to the "wall." metrics namespace and the bench rows).
+
+#include <string>
+
+#include "core/system_model.hpp"
+#include "search/fault_stream.hpp"
+#include "sim/timeline.hpp"
+
+namespace nocsched::report {
+
+/// Epoch-by-epoch table: each event's injection cycle and increment,
+/// the replan outcome (planned modules, pairs rebuilt, plan makespan)
+/// and the session fates at the cut, then the timeline summary
+/// (coverage retained, wasted cycles, makespan stretch) and any lost
+/// work.
+[[nodiscard]] std::string timeline_table(const core::SystemModel& sys,
+                                         const search::FaultStream& stream,
+                                         const sim::TimelineResult& result);
+
+/// One CSV row per epoch:
+/// epoch,start_cycle,event_cycle,links,routers,procs,planned,completed,
+/// drained,lost,cancelled,pairs_rebuilt,plan_makespan
+[[nodiscard]] std::string timeline_csv(const core::SystemModel& sys,
+                                       const search::FaultStream& stream,
+                                       const sim::TimelineResult& result);
+
+/// JSON object with "soc", "events", "epochs", "completed", "lost" and
+/// the summary fields; ends with a newline.
+[[nodiscard]] std::string timeline_json(const core::SystemModel& sys,
+                                        const search::FaultStream& stream,
+                                        const sim::TimelineResult& result);
+
+}  // namespace nocsched::report

@@ -81,13 +81,14 @@ struct ChainOutcome {
   bool converged = false;  ///< propose() ended the chain before its budget
 };
 
-ChainOutcome run_chain(const EvalContext& ctx, const Strategy& strategy, std::uint64_t seed,
+ChainOutcome run_chain(const EvalContext& ctx, const Strategy& strategy,
+                       const std::vector<int>& warm_order, std::uint64_t seed,
                        std::uint64_t chain, std::uint64_t budget,
                        std::uint64_t base_makespan, bool record_best_order) {
   Rng rng = EvalContext::chain_rng(seed, chain);
   ChainState state;
   state.budget = budget;
-  const bool warm_start = strategy.init_chain(state, ctx, chain, rng);
+  const bool warm_start = strategy.init_chain(state, ctx, warm_order, chain, rng);
 
   ChainOutcome out;
   if (warm_start) {
@@ -144,8 +145,15 @@ SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options)
   const obs::Span span("search");
   const Strategy& strategy = strategy_for(options.strategy);
 
+  // The deterministic pass plans the warm order when one was injected
+  // (projected onto this context's plannable modules), the base
+  // priority order otherwise — so an unset warm_start_order is
+  // bit-identical to the pre-warm-start driver.
+  const std::vector<int> root = options.warm_start_order.empty()
+                                    ? ctx.base_order()
+                                    : ctx.projected_order(options.warm_start_order);
   SearchResult result;
-  result.best = ctx.plan(ctx.base_order());
+  result.best = ctx.plan(root);
   result.first_makespan = result.best.makespan;
   RunTotals totals;
   totals.strategy = std::string(strategy.name());
@@ -177,7 +185,7 @@ SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options)
   std::vector<ChainOutcome> outcomes(chains);
   parallel_for(chains, options.jobs, [&](std::size_t c) {
     const obs::Span chain_span("search.chain");
-    outcomes[c] = run_chain(ctx, strategy, options.seed, c, budget_of(c),
+    outcomes[c] = run_chain(ctx, strategy, root, options.seed, c, budget_of(c),
                             result.first_makespan, record_best_order);
   });
 
@@ -203,7 +211,7 @@ SearchResult search_orders(const EvalContext& ctx, const SearchOptions& options)
       // Chains are deterministic, so replaying the winner (with order
       // recording on) recovers its best order.
       outcomes[best_chain] =
-          run_chain(ctx, strategy, options.seed, best_chain, budget_of(best_chain),
+          run_chain(ctx, strategy, root, options.seed, best_chain, budget_of(best_chain),
                     result.first_makespan, /*record_best_order=*/true);
       NOCSCHED_ASSERT(outcomes[best_chain].best_makespan == best_makespan);
     }

@@ -14,6 +14,7 @@
 // the iteration budget counts the order evaluations spent beyond it.
 
 #include <cstdint>
+#include <vector>
 
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
@@ -30,6 +31,15 @@ struct SearchOptions {
   std::uint64_t seed = 0x5EED;
   /// Threads running chains (0 = one per hardware thread; <= 1 serial).
   unsigned jobs = 1;
+  /// Warm-start order for the deterministic pass (and for chain 0 of
+  /// the strategies that warm-start).  Empty = unset: the pass plans
+  /// the context's base priority order, the pre-existing behaviour.
+  /// When set, the order is projected onto the context's plannable
+  /// modules (EvalContext::projected_order) first, so a caller may pass
+  /// the surviving order of a previous epoch verbatim — modules that
+  /// have since died or completed simply drop out.  The timeline
+  /// replanner seeds each replan from the previous best this way.
+  std::vector<int> warm_start_order;
 };
 
 /// Per-run record of what the search did, emitted by report::*

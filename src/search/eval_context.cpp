@@ -1,7 +1,9 @@
 #include "search/eval_context.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/error.hpp"
 #include "core/scheduler.hpp"
 
 namespace nocsched::search {
@@ -28,6 +30,29 @@ EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget&
   // processor lost its own test) are the replan's reported losses.
   base_order_ =
       core::priority_order(sys, eligible_, pairs_.testable_modules(sys, budget.limit));
+  build_tiers();
+}
+
+EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
+                         core::PairTable&& table, const noc::FaultSet& faults,
+                         const std::vector<bool>& candidates, std::vector<int> pretested)
+    : sys_(sys),
+      budget_(budget),
+      pairs_(std::move(table)),
+      subset_(true),
+      pretested_(std::move(pretested)),
+      eligible_(core::cpu_eligible_modules(sys, faults)) {
+  ensure(candidates.size() == sys.soc().modules.size(),
+         "EvalContext: candidates bitmap has ", candidates.size(), " entries for ",
+         sys.soc().modules.size(), " modules");
+  // Plannable = still wanted (a candidate) AND servable by the degraded
+  // table, where pretested processors count as servers without needing
+  // their own (already completed) test in this plan.
+  std::vector<bool> include = pairs_.testable_modules(sys, budget.limit, pretested_);
+  for (std::size_t i = 0; i < include.size(); ++i) {
+    if (!candidates[i]) include[i] = false;
+  }
+  base_order_ = core::priority_order(sys, eligible_, include);
   build_tiers();
 }
 
@@ -68,8 +93,33 @@ std::uint64_t EvalContext::evaluate(const std::vector<int>& order) const {
 }
 
 core::Schedule EvalContext::plan(const std::vector<int>& order) const {
-  return subset_ ? core::plan_tests_subset(sys_, budget_, order, pairs_)
+  return subset_ ? core::plan_tests_subset(sys_, budget_, order, pairs_, pretested_)
                  : core::plan_tests_with_order(sys_, budget_, order, pairs_);
+}
+
+std::vector<int> EvalContext::projected_order(const std::vector<int>& preferred) const {
+  // Rank of each module in the preferred order; modules absent from it
+  // rank after every present one, breaking ties by base-order position
+  // (tiers_ already lists each tier in base order, and the sort below
+  // is stable, so absent modules keep their base relative order).
+  std::vector<std::size_t> rank(sys_.soc().modules.size(), preferred.size());
+  for (std::size_t i = 0; i < preferred.size(); ++i) {
+    const int id = preferred[i];
+    ensure(id >= 1 && static_cast<std::size_t>(id) <= rank.size(),
+           "projected_order: unknown module id ", id);
+    const std::size_t slot = static_cast<std::size_t>(id - 1);
+    if (rank[slot] == preferred.size()) rank[slot] = i;  // first occurrence wins
+  }
+  std::vector<int> order;
+  order.reserve(base_order_.size());
+  for (const std::vector<int>& tier : tiers_) {
+    std::vector<int> projected = tier;
+    std::stable_sort(projected.begin(), projected.end(), [&](int a, int b) {
+      return rank[static_cast<std::size_t>(a - 1)] < rank[static_cast<std::size_t>(b - 1)];
+    });
+    order.insert(order.end(), projected.begin(), projected.end());
+  }
+  return order;
 }
 
 std::vector<int> EvalContext::shuffled_order(Rng& rng) const {

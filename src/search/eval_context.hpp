@@ -40,6 +40,17 @@ class EvalContext {
   EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
               core::PairTable&& table, const noc::FaultSet& faults);
 
+  /// Mid-timeline degraded context: on top of the fault masking above,
+  /// only modules whose `candidates` bit (by module id - 1) is set are
+  /// planned — modules already tested in earlier epochs are not — and
+  /// processors in `pretested` completed their own test in an earlier
+  /// epoch, so they serve from instant 0 and never strand a client in
+  /// the testability fixpoint.  `pretested` must be ascending, unique,
+  /// live (not in `faults`) processor module ids.
+  EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
+              core::PairTable&& table, const noc::FaultSet& faults,
+              const std::vector<bool>& candidates, std::vector<int> pretested);
+
   /// Makespan of planning `sys` with `order` (the search hot path: the
   /// schedule itself is discarded; the driver re-plans the winner once).
   [[nodiscard]] std::uint64_t evaluate(const std::vector<int>& order) const;
@@ -49,6 +60,15 @@ class EvalContext {
 
   /// The deterministic priority order (concatenation of the tiers).
   [[nodiscard]] const std::vector<int>& base_order() const { return base_order_; }
+
+  /// Tier-legal projection of a preferred order onto this context's
+  /// plannable modules: within each shuffle tier, modules named in
+  /// `preferred` come first in their preferred relative order, the rest
+  /// keep their base-order relative order; modules of `preferred` that
+  /// this context does not plan (dead, completed, stranded) simply drop
+  /// out.  With an empty or fully-foreign `preferred` this is exactly
+  /// base_order() — the warm-start regression contract.
+  [[nodiscard]] std::vector<int> projected_order(const std::vector<int>& preferred) const;
 
   /// A contiguous run of positions in any tier-respecting order whose
   /// modules share a shuffle tier; `[begin, end)` indexes the order.
@@ -93,6 +113,7 @@ class EvalContext {
   [[nodiscard]] const core::SystemModel& system() const { return sys_; }
   [[nodiscard]] const core::PairTable& pair_table() const { return pairs_; }
   [[nodiscard]] const std::vector<bool>& cpu_eligible() const { return eligible_; }
+  [[nodiscard]] const std::vector<int>& pretested() const { return pretested_; }
 
  private:
   void build_tiers();
@@ -101,6 +122,7 @@ class EvalContext {
   power::PowerBudget budget_;
   core::PairTable pairs_;
   bool subset_ = false;  ///< fault mode: the order is a strict subset
+  std::vector<int> pretested_;  ///< processors tested in earlier epochs
   std::vector<bool> eligible_;
   std::vector<int> base_order_;
   std::vector<std::vector<int>> tiers_;

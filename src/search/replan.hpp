@@ -56,4 +56,23 @@ struct ReplanResult {
                                   const noc::FaultSet& faults, const SearchOptions& options,
                                   const core::PairTable& pristine);
 
+/// Mid-timeline replan: plan only the modules whose `candidates` bit
+/// (by module id - 1) is still set — work completed in earlier epochs
+/// is not redone — with `pretested` processors (ascending, unique, not
+/// dead) serving from instant 0.  `table` must already be the PairTable
+/// of `sys` under `faults` (the timeline engine chains one master table
+/// across events via apply_faults and hands in a copy per epoch);
+/// `pairs_rebuilt` is reported through, it is not recomputed here.
+/// Non-candidate modules appear in none of the result's module lists:
+/// dead/untestable/planned classify the candidates only, so coverage
+/// accounting across epochs never double-counts a module.  Inherits the
+/// full determinism contract; options.warm_start_order seeds chain 0.
+[[nodiscard]] ReplanResult replan_subset(const core::SystemModel& sys,
+                                         const power::PowerBudget& budget,
+                                         const noc::FaultSet& faults,
+                                         const SearchOptions& options,
+                                         core::PairTable&& table, std::size_t pairs_rebuilt,
+                                         const std::vector<bool>& candidates,
+                                         std::vector<int> pretested);
+
 }  // namespace nocsched::search

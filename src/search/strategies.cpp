@@ -19,7 +19,8 @@ class RestartStrategy final : public Strategy {
 
   [[nodiscard]] std::uint64_t chains(std::uint64_t iters) const override { return iters; }
 
-  bool init_chain(ChainState& state, const EvalContext& ctx, std::uint64_t /*chain*/,
+  bool init_chain(ChainState& state, const EvalContext& ctx,
+                  const std::vector<int>& /*warm_order*/, std::uint64_t /*chain*/,
                   Rng& rng) const override {
     state.order = ctx.shuffled_order(rng);
     return false;
@@ -38,9 +39,9 @@ class RestartStrategy final : public Strategy {
 };
 
 /// Simulated annealing over within-tier swaps.  Each chain is an
-/// independent walker: chain 0 starts from the deterministic priority
-/// order (a warm start — the greedy base is already decent), the rest
-/// from seeded tier-shuffles.  Temperature starts at a fixed fraction
+/// independent walker: chain 0 starts from the driver's warm order (the
+/// deterministic priority order, or an injected warm start — either way
+/// already decent), the rest from seeded tier-shuffles.  Temperature starts at a fixed fraction
 /// of the chain's starting makespan and cools geometrically so it lands
 /// at the end fraction exactly when the chain's budget runs out; when a
 /// walker is stuck (a run of rejected proposals) it reheats to a
@@ -56,9 +57,10 @@ class AnnealStrategy final : public Strategy {
     return std::clamp<std::uint64_t>(iters / 128, 1, 8);
   }
 
-  bool init_chain(ChainState& state, const EvalContext& ctx, std::uint64_t chain,
+  bool init_chain(ChainState& state, const EvalContext& ctx,
+                  const std::vector<int>& warm_order, std::uint64_t chain,
                   Rng& rng) const override {
-    state.order = chain == 0 ? ctx.base_order() : ctx.shuffled_order(rng);
+    state.order = chain == 0 ? warm_order : ctx.shuffled_order(rng);
     return chain == 0;
   }
 
@@ -107,8 +109,8 @@ class AnnealStrategy final : public Strategy {
 };
 
 /// Greedy first-improvement descent over the within-tier swap pairs.
-/// Chain 0 descends from the deterministic priority order, the rest
-/// from seeded tier-shuffles.  The sweep cursor walks the pair list
+/// Chain 0 descends from the driver's warm order, the rest from seeded
+/// tier-shuffles.  The sweep cursor walks the pair list
 /// cyclically; a swap that improves is kept and the sweep continues
 /// from the next pair.  Once a full cycle passes with no improvement
 /// the incumbent is a pairwise-swap local optimum, and the chain
@@ -121,9 +123,10 @@ class LocalStrategy final : public Strategy {
     return std::clamp<std::uint64_t>(iters / 64, 1, 8);
   }
 
-  bool init_chain(ChainState& state, const EvalContext& ctx, std::uint64_t chain,
+  bool init_chain(ChainState& state, const EvalContext& ctx,
+                  const std::vector<int>& warm_order, std::uint64_t chain,
                   Rng& rng) const override {
-    state.order = chain == 0 ? ctx.base_order() : ctx.shuffled_order(rng);
+    state.order = chain == 0 ? warm_order : ctx.shuffled_order(rng);
     return chain == 0;
   }
 

@@ -79,14 +79,19 @@ class Strategy {
   [[nodiscard]] virtual std::uint64_t chains(std::uint64_t iters) const = 0;
 
   /// Fill `state.order` and any scratch fields for chain `chain`.
-  /// Returns true when the chain warm-starts from the base priority
-  /// order: the driver then seeds the incumbent's makespan from its
-  /// already-evaluated deterministic pass instead of spending a
-  /// budgeted evaluation re-deriving it.  Return false for any other
-  /// order (even one that happens to coincide with the base order —
-  /// e.g. a restart shuffle on a tiny system — so evaluation counts
-  /// stay a pure function of the options).
-  virtual bool init_chain(ChainState& state, const EvalContext& ctx, std::uint64_t chain,
+  /// `warm_order` is the order the driver's deterministic pass planned:
+  /// the base priority order, or the projection of
+  /// SearchOptions::warm_start_order when a caller injected one (the
+  /// timeline replanner seeds each replan from the previous best
+  /// surviving order this way).  Returns true when the chain
+  /// warm-starts from exactly that order: the driver then seeds the
+  /// incumbent's makespan from its already-evaluated deterministic pass
+  /// instead of spending a budgeted evaluation re-deriving it.  Return
+  /// false for any other order (even one that happens to coincide with
+  /// it — e.g. a restart shuffle on a tiny system — so evaluation
+  /// counts stay a pure function of the options).
+  virtual bool init_chain(ChainState& state, const EvalContext& ctx,
+                          const std::vector<int>& warm_order, std::uint64_t chain,
                           Rng& rng) const = 0;
 
   /// Next order to evaluate, or nullopt to end the chain early (a

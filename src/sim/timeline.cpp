@@ -1,0 +1,413 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/cross_check.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched::sim {
+
+double TimelineResult::coverage_retained() const {
+  const std::size_t total = covered_modules.size() + uncovered_modules.size();
+  if (total == 0) return 1.0;
+  return static_cast<double>(covered_modules.size()) / static_cast<double>(total);
+}
+
+double TimelineResult::makespan_stretch() const {
+  if (pristine_makespan == 0) return 0.0;
+  return static_cast<double>(final_makespan) / static_cast<double>(pristine_makespan);
+}
+
+namespace {
+
+/// A session still running on silicon while a replan happens: a copy of
+/// its planned session (fault-touch tests need its endpoints and paths)
+/// plus its absolute extent.
+struct DrainingSession {
+  core::Session planned;
+  std::size_t epoch = 0;
+  std::uint64_t abs_start = 0;
+  std::uint64_t abs_end = 0;
+};
+
+/// Why `increment` — the newly-broken silicon alone, not the cumulative
+/// set — kills the running session `planned` (empty = it doesn't: the
+/// session's module, endpoints, routers, and path channels all dodge
+/// the increment, so it keeps draining).
+std::string touch_reason(const core::SystemModel& sys, const core::Session& planned,
+                         const noc::FaultSet& increment) {
+  if (increment.empty()) return {};
+  const auto& endpoints = sys.endpoints();
+  if (sys.soc().module(planned.module_id).is_processor &&
+      increment.processor_failed(planned.module_id)) {
+    return cat("processor module ", planned.module_id, " died mid-test");
+  }
+  const core::Endpoint& src = endpoints[static_cast<std::size_t>(planned.source_resource)];
+  const core::Endpoint& snk = endpoints[static_cast<std::size_t>(planned.sink_resource)];
+  for (const core::Endpoint* ep : {&src, &snk}) {
+    if (ep->is_processor() && increment.processor_failed(ep->processor_module)) {
+      return cat("serving processor ", ep->processor_module, " died");
+    }
+  }
+  // Routers first (a dead attachment router kills even zero-hop legs),
+  // then every path channel — channel_usable also covers the channels'
+  // own endpoint routers.
+  for (const noc::RouterId r :
+       {sys.router_of(planned.module_id), src.router, snk.router}) {
+    if (increment.router_failed(r)) return cat("router ", r, " died");
+  }
+  for (const auto* path : {&planned.path_in, &planned.path_out}) {
+    for (const noc::ChannelId c : *path) {
+      if (!increment.channel_usable(sys.mesh(), c)) {
+        return cat("path channel ", c, " died");
+      }
+    }
+  }
+  return {};
+}
+
+class TimelineEngine {
+ public:
+  TimelineEngine(const core::SystemModel& sys, const power::PowerBudget& budget,
+                 const search::FaultStream& stream, const search::SearchOptions& options)
+      : sys_(sys), budget_(budget), stream_(stream), options_(options) {}
+
+  TimelineResult run() {
+    const obs::Span span("timeline");
+    core::PairTable master(sys_);  // chained via apply_faults, never rebuilt
+    noc::FaultSet faults;
+    candidates_.assign(sys_.soc().modules.size(), true);
+    std::vector<DrainingSession> draining;
+    std::vector<int> warm;
+    std::uint64_t origin = 0;
+
+    const std::size_t k = stream_.events.size();
+    for (std::size_t e = 0; e <= k; ++e) {
+      // The replan-latency window covers exactly what a controller pays
+      // per event: the incremental table update, the per-epoch copy,
+      // and the warm-started search.  Wall time is recorded, never read.
+      const double wall_start = obs::now_ms();
+      std::size_t rebuilt = 0;
+      if (e > 0) rebuilt = master.apply_faults(sys_, faults);
+      core::PairTable table = master;
+      search::SearchOptions opts = options_;
+      opts.warm_start_order = warm;
+      search::ReplanResult replanned = search::replan_subset(
+          sys_, budget_, faults, opts, std::move(table), rebuilt, candidates_, pretested_);
+      const double wall_ms = obs::now_ms() - wall_start;
+
+      // The plan is fault-aware by construction, so the degraded replay
+      // loses nothing — every planned session runs.
+      des::DegradedReplay replay =
+          des::replay_degraded(sys_, replanned.schedule, faults, pretested_);
+      NOCSCHED_ASSERT(replay.lost.empty());
+
+      // The warm order the *next* epoch projects: this epoch's planned
+      // session order (completed and dead modules drop out during
+      // projection).
+      warm.clear();
+      for (const core::Session& s : replanned.schedule.sessions) {
+        warm.push_back(s.module_id);
+      }
+
+      EpochRecord epoch;
+      epoch.index = e;
+      epoch.start_cycle = origin;
+      epoch.faults = faults;
+      epoch.pretested = pretested_;
+      epoch.pairs_rebuilt = rebuilt;
+      epoch.replan_wall_ms = wall_ms;
+      epoch.replan = std::move(replanned);
+      epoch.trace = std::move(replay.trace);
+
+      if (e == k) {
+        // No more events: the whole plan runs to completion, and every
+        // surviving draining session finished before this epoch began.
+        for (DrainingSession& d : draining) complete_draining(d);
+        draining.clear();
+        for (const des::SessionTrace& s : epoch.trace.sessions) {
+          complete(s.module_id, e, origin + s.observed_start, origin + s.observed_end);
+          ++epoch.completed;
+        }
+        result_.epochs.push_back(std::move(epoch));
+        break;
+      }
+
+      const search::FaultEvent& event = stream_.events[e];
+      const std::uint64_t cut = event.cycle;
+      const std::uint64_t local = cut > origin ? cut - origin : 0;
+
+      // Settle earlier epochs' draining sessions first: done before the
+      // cut is done for good; still running and touched is revoked (its
+      // tentative completion undone); still running and untouched keeps
+      // draining into the next epoch.
+      std::vector<DrainingSession> still_draining;
+      for (DrainingSession& d : draining) {
+        if (d.abs_end <= cut) {
+          complete_draining(d);
+          continue;
+        }
+        std::string touched = touch_reason(sys_, d.planned, event.increment);
+        if (touched.empty()) {
+          still_draining.push_back(std::move(d));
+        } else {
+          revoke(d, cut, std::move(touched));
+        }
+      }
+      draining = std::move(still_draining);
+
+      // Fate of everything this epoch's plan launched, at the cut.
+      for (const des::SessionTrace& s : epoch.trace.sessions) {
+        if (s.observed_end <= local) {
+          complete(s.module_id, e, origin + s.observed_start, origin + s.observed_end);
+          ++epoch.completed;
+        } else if (s.observed_start < local) {
+          const core::Session& planned = epoch.replan.schedule.session_for(s.module_id);
+          std::string touched = touch_reason(sys_, planned, event.increment);
+          if (touched.empty()) {
+            // Drains to completion while the next replan happens; the
+            // completion is tentative until no later event kills it.
+            tentatively_complete(s.module_id);
+            draining.push_back({planned, e, origin + s.observed_start,
+                                origin + s.observed_end});
+            ++epoch.drained;
+          } else {
+            result_.lost.push_back({s.module_id, e, cut, local - s.observed_start,
+                                    std::move(touched)});
+            ++epoch.lost;
+          }
+        } else {
+          ++epoch.cancelled;  // never launched — replanned at no cost
+        }
+      }
+
+      // The next epoch starts once the event has struck and every
+      // surviving draining session has finished (its processors, ports,
+      // and power are busy until then).  An event that lands before the
+      // current epoch's origin (nothing launched yet — everything was
+      // cancelled at local cut 0) never moves time backwards.
+      origin = std::max(origin, cut);
+      for (const DrainingSession& d : draining) origin = std::max(origin, d.abs_end);
+      search::merge_faults(faults, event.increment);
+      result_.epochs.push_back(std::move(epoch));
+    }
+
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  void complete(int module_id, std::size_t epoch, std::uint64_t abs_start,
+                std::uint64_t abs_end) {
+    result_.completed.push_back({module_id, epoch, abs_start, abs_end});
+    mark_done(module_id);
+  }
+
+  void complete_draining(const DrainingSession& d) {
+    // Already marked done when it entered draining; only the record of
+    // the finished session is new.
+    result_.completed.push_back({d.planned.module_id, d.epoch, d.abs_start, d.abs_end});
+  }
+
+  void tentatively_complete(int module_id) { mark_done(module_id); }
+
+  void revoke(const DrainingSession& d, std::uint64_t cut, std::string reason) {
+    const int id = d.planned.module_id;
+    candidates_[static_cast<std::size_t>(id - 1)] = true;
+    const auto it = std::find(pretested_.begin(), pretested_.end(), id);
+    if (it != pretested_.end()) pretested_.erase(it);
+    result_.lost.push_back({id, d.epoch, cut, cut - d.abs_start, std::move(reason)});
+  }
+
+  void mark_done(int module_id) {
+    candidates_[static_cast<std::size_t>(module_id - 1)] = false;
+    if (sys_.soc().module(module_id).is_processor) {
+      const auto it = std::lower_bound(pretested_.begin(), pretested_.end(), module_id);
+      pretested_.insert(it, module_id);
+    }
+  }
+
+  void finalize() {
+    std::sort(result_.completed.begin(), result_.completed.end(),
+              [](const TimelineSession& a, const TimelineSession& b) {
+                if (a.abs_start != b.abs_start) return a.abs_start < b.abs_start;
+                return a.module_id < b.module_id;
+              });
+    for (const TimelineSession& s : result_.completed) {
+      result_.covered_modules.push_back(s.module_id);
+      result_.final_makespan = std::max(result_.final_makespan, s.abs_end);
+    }
+    std::sort(result_.covered_modules.begin(), result_.covered_modules.end());
+    for (const itc02::Module& m : sys_.soc().modules) {
+      if (!std::binary_search(result_.covered_modules.begin(),
+                              result_.covered_modules.end(), m.id)) {
+        result_.uncovered_modules.push_back(m.id);
+      }
+    }
+    for (const LostWork& l : result_.lost) result_.wasted_cycles += l.wasted_cycles;
+    result_.pristine_makespan = result_.epochs.front().trace.observed_makespan;
+
+    obs::MetricsRegistry& reg = obs::registry();
+    if (reg.enabled()) {
+      static obs::Counter& runs = reg.counter("timeline.runs");
+      static obs::Counter& events = reg.counter("timeline.events");
+      static obs::Counter& completed = reg.counter("timeline.sessions_completed");
+      static obs::Counter& lost = reg.counter("timeline.sessions_lost");
+      static obs::Counter& wasted = reg.counter("timeline.wasted_cycles");
+      static obs::Histogram& latency = reg.histogram(
+          "wall.replan.latency_us",
+          {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000});
+      runs.inc();
+      events.add(stream_.events.size());
+      completed.add(result_.completed.size());
+      lost.add(result_.lost.size());
+      wasted.add(result_.wasted_cycles);
+      for (const EpochRecord& epoch : result_.epochs) {
+        latency.observe(static_cast<std::uint64_t>(epoch.replan_wall_ms * 1000.0));
+      }
+    }
+  }
+
+  const core::SystemModel& sys_;
+  const power::PowerBudget& budget_;
+  const search::FaultStream& stream_;
+  const search::SearchOptions& options_;
+  std::vector<bool> candidates_;  ///< by module id - 1: still needs a test
+  std::vector<int> pretested_;    ///< ascending processor ids, done for good
+  TimelineResult result_;
+};
+
+}  // namespace
+
+TimelineResult replay_timeline(const core::SystemModel& sys, const power::PowerBudget& budget,
+                               const search::FaultStream& stream,
+                               const search::SearchOptions& options) {
+  return TimelineEngine(sys, budget, stream, options).run();
+}
+
+TimelineCheck validate_timeline(const core::SystemModel& sys,
+                                const search::FaultStream& stream,
+                                const TimelineResult& result) {
+  TimelineCheck check;
+  auto violation = [&](auto&&... parts) {
+    check.violations.push_back(cat(std::forward<decltype(parts)>(parts)...));
+  };
+
+  if (result.epochs.size() != stream.events.size() + 1) {
+    violation("expected ", stream.events.size() + 1, " epochs for ", stream.events.size(),
+              " events, got ", result.epochs.size());
+    return check;
+  }
+
+  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+    const EpochRecord& epoch = result.epochs[e];
+    if (epoch.index != e) {
+      violation("epoch ", e, " records index ", epoch.index);
+    }
+    if (epoch.faults != stream.cumulative(e)) {
+      violation("epoch ", e, " fault set is not the stream's cumulative prefix: got ",
+                epoch.faults.describe(), ", expected ", stream.cumulative(e).describe());
+    }
+    if (e > 0) {
+      if (epoch.start_cycle < result.epochs[e - 1].start_cycle) {
+        violation("epoch ", e, " starts at ", epoch.start_cycle, " before epoch ", e - 1,
+                  " at ", result.epochs[e - 1].start_cycle);
+      }
+      if (epoch.start_cycle < stream.events[e - 1].cycle) {
+        violation("epoch ", e, " starts at ", epoch.start_cycle,
+                  " before its opening event at ", stream.events[e - 1].cycle);
+      }
+    } else if (epoch.start_cycle != 0) {
+      violation("epoch 0 starts at ", epoch.start_cycle, ", expected 0");
+    }
+    if (!std::is_sorted(epoch.pretested.begin(), epoch.pretested.end()) ||
+        std::adjacent_find(epoch.pretested.begin(), epoch.pretested.end()) !=
+            epoch.pretested.end()) {
+      violation("epoch ", e, " pretested list is not ascending and unique");
+    }
+
+    // The epoch plan must satisfy the full fault-aware validator under
+    // exactly this epoch's faults and pretested set, and its replay
+    // must be consistent with it.
+    const ValidationReport plan_report =
+        validate(sys, epoch.replan.schedule, epoch.faults, epoch.pretested);
+    for (const std::string& v : plan_report.violations) {
+      violation("epoch ", e, " plan: ", v);
+    }
+    const CrossCheckReport cc = cross_check(sys, epoch.replan.schedule, epoch.trace);
+    for (const std::string& m : cc.mismatches) {
+      violation("epoch ", e, " replay: ", m);
+    }
+  }
+
+  // Coverage: at most once, accounted exactly, and consistent with the
+  // completed-session records.
+  std::vector<int> covered;
+  for (const TimelineSession& s : result.completed) {
+    if (s.abs_end <= s.abs_start) {
+      violation("completed module ", s.module_id, " has empty extent [", s.abs_start,
+                ", ", s.abs_end, ")");
+    }
+    if (s.epoch >= result.epochs.size()) {
+      violation("completed module ", s.module_id, " names unknown epoch ", s.epoch);
+    } else if (s.abs_start < result.epochs[s.epoch].start_cycle) {
+      violation("completed module ", s.module_id, " starts at ", s.abs_start,
+                " before its epoch's origin ", result.epochs[s.epoch].start_cycle);
+    }
+    covered.push_back(s.module_id);
+  }
+  std::sort(covered.begin(), covered.end());
+  if (std::adjacent_find(covered.begin(), covered.end()) != covered.end()) {
+    violation("a module completed more than once across the timeline");
+  }
+  if (covered != result.covered_modules) {
+    violation("covered_modules does not match the completed sessions");
+  }
+  std::size_t uncovered_seen = 0;
+  for (const itc02::Module& m : sys.soc().modules) {
+    const bool in_covered = std::binary_search(covered.begin(), covered.end(), m.id);
+    const bool in_uncovered =
+        std::find(result.uncovered_modules.begin(), result.uncovered_modules.end(), m.id) !=
+        result.uncovered_modules.end();
+    if (in_covered == in_uncovered) {
+      violation("module ", m.id, " is ", in_covered ? "in both" : "in neither",
+                " covered and uncovered lists");
+    }
+    if (in_uncovered) ++uncovered_seen;
+  }
+  if (uncovered_seen != result.uncovered_modules.size()) {
+    violation("uncovered_modules names modules outside the system");
+  }
+
+  std::uint64_t final_makespan = 0;
+  for (const TimelineSession& s : result.completed) {
+    final_makespan = std::max(final_makespan, s.abs_end);
+  }
+  if (final_makespan != result.final_makespan) {
+    violation("final_makespan ", result.final_makespan, " != last completed end ",
+              final_makespan);
+  }
+  std::uint64_t wasted = 0;
+  for (const LostWork& l : result.lost) {
+    wasted += l.wasted_cycles;
+    if (l.epoch >= result.epochs.size()) {
+      violation("lost module ", l.module_id, " names unknown epoch ", l.epoch);
+    }
+  }
+  if (wasted != result.wasted_cycles) {
+    violation("wasted_cycles ", result.wasted_cycles, " != summed lost work ", wasted);
+  }
+  if (result.pristine_makespan != result.epochs.front().trace.observed_makespan) {
+    violation("pristine_makespan ", result.pristine_makespan,
+              " != epoch 0 observed makespan ",
+              result.epochs.front().trace.observed_makespan);
+  }
+  return check;
+}
+
+}  // namespace nocsched::sim

@@ -1,0 +1,126 @@
+#pragma once
+// Online fault-timeline replay: the full mid-execution story.
+//
+// A search::FaultStream carries K timed fault events.  replay_timeline
+// runs the test from cycle 0, and at every injection cycle it stops the
+// world, decides the fate of every session the current epoch had
+// launched, and replans the remaining work on the degraded mesh:
+//
+//   * sessions that finished before the event stay finished — a tested
+//     module is never re-tested, and a tested processor keeps serving
+//     later epochs from instant 0 (the `pretested` plumbing through
+//     planner, pair table, DES replay, and validator);
+//   * in-flight sessions touched by the newly-dead silicon are lost —
+//     their cycles were wasted and their module re-enters the pool the
+//     next replan draws from;
+//   * in-flight sessions the increment does not touch keep draining to
+//     completion while the replan happens; the next epoch starts after
+//     they finish (their completion is revoked if a *later* event kills
+//     them mid-drain);
+//   * pending sessions are cancelled and simply replanned.
+//
+// Each replan is incremental and warm: the master PairTable is chained
+// through PairTable::apply_faults across the growing cumulative fault
+// set (never rebuilt from pristine), and the search seeds chain 0 from
+// the previous epoch's surviving session order
+// (SearchOptions::warm_start_order).  Everything about the result is a
+// pure function of (system, budget, stream, options) — bit-identical at
+// any --jobs count — except the recorded wall-clock replan latencies,
+// which live in `replan_wall_ms` fields and the "wall." metrics
+// namespace only and never influence the timeline itself.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system_model.hpp"
+#include "des/replay.hpp"
+#include "power/budget.hpp"
+#include "search/fault_stream.hpp"
+#include "search/replan.hpp"
+
+namespace nocsched::sim {
+
+/// One module test that ran to completion on silicon.
+struct TimelineSession {
+  int module_id = 0;
+  std::size_t epoch = 0;         ///< epoch whose plan launched it
+  std::uint64_t abs_start = 0;   ///< absolute cycles (epoch origin + observed)
+  std::uint64_t abs_end = 0;
+};
+
+/// Cycles burned on a session a fault event killed mid-flight.
+struct LostWork {
+  int module_id = 0;
+  std::size_t epoch = 0;
+  std::uint64_t at_cycle = 0;        ///< the killing event's injection cycle
+  std::uint64_t wasted_cycles = 0;   ///< absolute start -> injection cycle
+  std::string reason;                ///< which fault touched it
+};
+
+/// One planning epoch: the replan that opened it and the epoch-local
+/// observed trace of its plan on the then-current degraded mesh.
+struct EpochRecord {
+  std::size_t index = 0;
+  std::uint64_t start_cycle = 0;      ///< absolute origin of the epoch clock
+  noc::FaultSet faults;               ///< cumulative faults in force
+  std::vector<int> pretested;         ///< processors serving from earlier epochs
+  search::ReplanResult replan;        ///< plan + module classification
+  des::SimTrace trace;                ///< epoch-local replay of replan.schedule
+  std::size_t pairs_rebuilt = 0;      ///< apply_faults increment for this epoch
+  // Fate counts at the event that closed the epoch (the final epoch
+  // completes everything).
+  std::size_t completed = 0;
+  std::size_t drained = 0;   ///< in-flight, untouched — ran to completion
+  std::size_t lost = 0;      ///< in-flight, touched — cycles wasted
+  std::size_t cancelled = 0; ///< not yet started — replanned at no cost
+  /// Wall-clock latency of this epoch's incremental replan (apply_faults
+  /// + table copy + warm search).  Nondeterministic by nature: reported
+  /// via the "wall." metrics namespace and bench rows only, excluded
+  /// from byte-stable report output, and never read by the engine.
+  double replan_wall_ms = 0.0;
+};
+
+/// Complete record of a timeline run.
+struct TimelineResult {
+  std::vector<EpochRecord> epochs;        ///< events.size() + 1 entries
+  std::vector<TimelineSession> completed; ///< ascending (abs_start, module)
+  std::vector<LostWork> lost;             ///< event order, then module id
+  std::vector<int> covered_modules;       ///< ascending ids, tested exactly once
+  std::vector<int> uncovered_modules;     ///< dead or stranded by the end
+  std::uint64_t pristine_makespan = 0;    ///< epoch 0's observed makespan
+  std::uint64_t final_makespan = 0;       ///< last completed session's abs end
+  std::uint64_t wasted_cycles = 0;        ///< summed over `lost`
+
+  /// Covered fraction of all modules (1.0 when nothing was lost).
+  [[nodiscard]] double coverage_retained() const;
+  /// final_makespan / pristine_makespan (0 when the pristine plan is
+  /// empty); >= 1 in practice — fault recovery costs time.
+  [[nodiscard]] double makespan_stretch() const;
+};
+
+/// Run the full timeline of `stream` over `sys` under `budget`.
+/// `options` configures every epoch's search; its warm_start_order is
+/// ignored (the engine supplies each epoch's warm order itself).
+[[nodiscard]] TimelineResult replay_timeline(const core::SystemModel& sys,
+                                             const power::PowerBudget& budget,
+                                             const search::FaultStream& stream,
+                                             const search::SearchOptions& options);
+
+/// Independent audit of a timeline result against its stream.
+struct TimelineCheck {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Re-check everything replay_timeline promises: one epoch per stream
+/// prefix with exactly its cumulative fault set; every epoch plan valid
+/// under the fault-aware validator (with that epoch's pretested set) and
+/// consistent with its own trace (sim::cross_check); every module
+/// covered at most once; coverage accounting exact (covered + uncovered
+/// = all modules, completed matching covered); epochs monotone in time.
+[[nodiscard]] TimelineCheck validate_timeline(const core::SystemModel& sys,
+                                              const search::FaultStream& stream,
+                                              const TimelineResult& result);
+
+}  // namespace nocsched::sim

@@ -47,7 +47,8 @@ std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy, int so
 namespace {
 
 ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedule& schedule,
-                               const noc::FaultSet* faults) {
+                               const noc::FaultSet* faults,
+                               std::span<const int> pretested = {}) {
   ValidationReport report;
   auto violation = [&](auto&&... parts) {
     report.violations.push_back(cat(std::forward<decltype(parts)>(parts)...));
@@ -86,8 +87,15 @@ ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedul
     violation("makespan ", schedule.makespan, " != last session end ", last_end);
   }
 
-  // Processor completion times (for precedence checks).
+  // Processor completion times (for precedence checks).  Pretested
+  // processors finished their own test in an earlier timeline epoch —
+  // ready from instant 0 even though this plan has no session for them.
   std::map<int, std::uint64_t> processor_ready;  // module id -> own test end
+  for (const int id : pretested) {
+    if (module_exists(sys.soc(), id) && sys.soc().module(id).is_processor) {
+      processor_ready[id] = 0;
+    }
+  }
   for (const core::Session& s : schedule.sessions) {
     if (module_exists(sys.soc(), s.module_id) && sys.soc().module(s.module_id).is_processor) {
       processor_ready[s.module_id] = s.end;
@@ -275,6 +283,11 @@ ValidationReport validate(const core::SystemModel& sys, const core::Schedule& sc
   return validate_impl(sys, schedule, &faults);
 }
 
+ValidationReport validate(const core::SystemModel& sys, const core::Schedule& schedule,
+                          const noc::FaultSet& faults, std::span<const int> pretested) {
+  return validate_impl(sys, schedule, &faults, pretested);
+}
+
 namespace {
 
 void throw_on_violations(const ValidationReport& report) {
@@ -296,6 +309,11 @@ void validate_or_throw(const core::SystemModel& sys, const core::Schedule& sched
 void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule,
                        const noc::FaultSet& faults) {
   throw_on_violations(validate(sys, schedule, faults));
+}
+
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule,
+                       const noc::FaultSet& faults, std::span<const int> pretested) {
+  throw_on_violations(validate(sys, schedule, faults, pretested));
 }
 
 }  // namespace nocsched::sim

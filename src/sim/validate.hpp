@@ -21,6 +21,7 @@
 // cannot hide themselves.
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,9 +61,19 @@ struct ValidationReport {
                                         const core::Schedule& schedule,
                                         const noc::FaultSet& faults);
 
+/// As above for a mid-timeline epoch plan: processors in `pretested`
+/// completed their own test in an earlier epoch, so they are ready from
+/// instant 0 and need no session of their own here.
+[[nodiscard]] ValidationReport validate(const core::SystemModel& sys,
+                                        const core::Schedule& schedule,
+                                        const noc::FaultSet& faults,
+                                        std::span<const int> pretested);
+
 /// Throw nocsched::Error listing the violations, if any.
 void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule);
 void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule,
                        const noc::FaultSet& faults);
+void validate_or_throw(const core::SystemModel& sys, const core::Schedule& schedule,
+                       const noc::FaultSet& faults, std::span<const int> pretested);
 
 }  // namespace nocsched::sim

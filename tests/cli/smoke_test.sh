@@ -163,6 +163,78 @@ else
 fi
 check "--fault-sweep json"  "$cli" --soc d695 --procs 4 --fault-sweep 2 --format json
 
+# Online fault streams: every format renders a full timeline end to end.
+for fmt in table csv json all; do
+  out=$("$cli" --soc d695 --procs 4 --fault-stream 2 --format "$fmt" 2>/dev/null)
+  rc=$?
+  if [ "$rc" -eq 0 ] && [ -n "$out" ]; then
+    echo "ok: --fault-stream --format $fmt"
+  else
+    echo "FAIL: --fault-stream --format $fmt produced rc=$rc / empty output" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# The stream JSON must carry the timeline structure downstream tooling
+# keys on.
+sjson=$("$cli" --soc d695 --procs 4 --fault-stream 2 --format json 2>/dev/null)
+case $sjson in
+  *'"events"'*'"epochs"'*'"coverage_retained"'*'"makespan_stretch"'*)
+    echo "ok: stream json has events + epochs + coverage + stretch" ;;
+  *) echo "FAIL: stream json missing timeline fields" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# ...and is reproducible from its seed.
+stream_a=$("$cli" --soc d695 --procs 4 --fault-stream 2 --fault-seed 9 --format csv 2>/dev/null)
+stream_b=$("$cli" --soc d695 --procs 4 --fault-stream 2 --fault-seed 9 --format csv 2>/dev/null)
+if [ -n "$stream_a" ] && [ "$stream_a" = "$stream_b" ]; then
+  echo "ok: --fault-stream reproducible from --fault-seed"
+else
+  echo "FAIL: two --fault-stream 2 --fault-seed 9 runs disagreed" >&2
+  fails=$((fails + 1))
+fi
+
+# An explicit JSONL timeline drives the same pipeline.
+streamfile="${TMPDIR:-/tmp}/nocsched_smoke_stream.$$.jsonl"
+cat > "$streamfile" <<'EOF'
+{"cycle": 20000, "links": ["0:1"]}
+
+{"cycle": 45000, "routers": [2], "procs": [11]}
+EOF
+check "--fault-stream-file" "$cli" --soc d695 --procs 4 --fault-stream-file "$streamfile" --format table
+
+# Malformed stream files are rejected with a <path>:<line>: diagnostic
+# naming the offending field.
+reject_stream_file() {
+  desc=$1
+  wanted=$2
+  printf '%s\n' "$3" > "$streamfile"
+  err=$("$cli" --soc d695 --procs 4 --fault-stream-file "$streamfile" 2>&1 >/dev/null)
+  rc=$?
+  case "$rc:$err" in
+    0:*) echo "FAIL: $desc exited 0" >&2
+         fails=$((fails + 1)) ;;
+    *"$streamfile:$wanted"*) echo "ok: $desc rejected with line-numbered diagnostic" ;;
+    *) echo "FAIL: $desc diagnostic unclear: $err" >&2
+       fails=$((fails + 1)) ;;
+  esac
+}
+reject_stream_file "stream file bad router id" "1: no router '99'" \
+  '{"cycle": 10, "links": ["0:99"]}'
+reject_stream_file "stream file non-adjacent link" "1: link '0:9': routers 0 and 9 are not adjacent" \
+  '{"cycle": 10, "links": ["0:9"]}'
+reject_stream_file "stream file non-processor proc" "1: module 1" \
+  '{"cycle": 10, "procs": [1]}'
+reject_stream_file "stream file out-of-range cycle" "1: \"cycle\"" \
+  '{"cycle": 9223372036854775808, "links": ["0:1"]}'
+reject_stream_file "stream file non-monotone events" "2: event cycle 400 is not after" \
+  '{"cycle": 500, "links": ["0:1"]}
+{"cycle": 400, "procs": [11]}'
+reject_stream_file "stream file empty increment" "1: event breaks nothing" \
+  '{"cycle": 10}'
+rm -f "$streamfile"
+
 # Observability: --metrics reports to stderr in every exposition
 # format while stdout stays byte-identical to an uninstrumented run.
 plain=$("$cli" --soc d695 --procs 4 --format csv 2>/dev/null)
@@ -229,7 +301,12 @@ for bad in "--format bogus" "--soc no_such_soc" "--cpu vax" "--bogus-flag 1" "--
            "--fail-links 4294967296:1" "--fail-procs 4294967307" \
            "--fail-links 0:1 --fault-seed 7" \
            "--fail-links 0:1 --simulate" "--fault-sweep 2 --fail-procs 11" \
-           "--fault-sweep 2 --format gantt"; do
+           "--fault-sweep 2 --format gantt" \
+           "--fault-stream 0" "--fault-stream 2 --fault-sweep 2" \
+           "--fault-stream 2 --fault-stream-file x" \
+           "--fault-stream 2 --fail-procs 11" "--fault-stream 2 --simulate" \
+           "--fault-stream 2 --format gantt" \
+           "--fault-stream-file /nonexistent/stream.jsonl"; do
   # shellcheck disable=SC2086  # intentional word splitting of $bad
   if "$cli" --procs 2 $bad >/dev/null 2>&1; then
     echo "FAIL: '$bad' exited 0" >&2

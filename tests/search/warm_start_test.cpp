@@ -1,0 +1,130 @@
+// Warm-start plumbing regression: SearchOptions::warm_start_order left
+// empty must be bit-identical to the pre-PR behaviour (the driver plans
+// the context's base order), and projecting a preferred order must obey
+// the tier-legality contract of EvalContext::projected_order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "power/budget.hpp"
+#include "search/driver.hpp"
+#include "search/eval_context.hpp"
+#include "sim/validate.hpp"
+
+namespace nocsched::search {
+namespace {
+
+core::SystemModel d695() {
+  return core::SystemModel::paper_system("d695", itc02::ProcessorKind::kLeon, 4,
+                                         core::PlannerParams::paper());
+}
+
+void expect_same_schedule(const core::Schedule& a, const core::Schedule& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i], b.sessions[i]) << "session " << i;
+  }
+}
+
+TEST(WarmStart, UnsetEqualsExplicitBaseOrderForEveryStrategy) {
+  const core::SystemModel sys = d695();
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  const EvalContext ctx(sys, budget);
+  for (const StrategyKind kind :
+       {StrategyKind::kRestart, StrategyKind::kAnneal, StrategyKind::kLocal}) {
+    SearchOptions unset;
+    unset.strategy = kind;
+    unset.iters = 48;
+    unset.seed = 0x5EED;
+    unset.jobs = 2;
+    SearchOptions explicit_base = unset;
+    explicit_base.warm_start_order = ctx.base_order();
+    const SearchResult a = search_orders(sys, budget, unset);
+    const SearchResult b = search_orders(sys, budget, explicit_base);
+    expect_same_schedule(a.best, b.best);
+  }
+}
+
+TEST(WarmStart, WarmOrderChangesNothingAboutValidity) {
+  const core::SystemModel sys = d695();
+  const power::PowerBudget budget = power::PowerBudget::unconstrained();
+  const EvalContext ctx(sys, budget);
+  // A deliberately scrambled warm order (base order reversed) must
+  // still produce a valid plan — the projection restores tier legality.
+  SearchOptions options;
+  options.strategy = StrategyKind::kLocal;
+  options.iters = 32;
+  options.warm_start_order.assign(ctx.base_order().rbegin(), ctx.base_order().rend());
+  const SearchResult result = search_orders(sys, budget, options);
+  sim::validate_or_throw(sys, result.best);
+  EXPECT_GT(result.best.makespan, 0u);
+}
+
+TEST(ProjectedOrder, EmptyAndForeignPreferredAreTheBaseOrder) {
+  const core::SystemModel sys = d695();
+  const EvalContext ctx(sys, power::PowerBudget::unconstrained());
+  EXPECT_EQ(ctx.projected_order({}), ctx.base_order());
+  // Valid module ids that the preference leaves untouched in relative
+  // terms (the full base order itself) are also a fixed point.
+  EXPECT_EQ(ctx.projected_order(ctx.base_order()), ctx.base_order());
+}
+
+TEST(ProjectedOrder, PreferredModulesLeadTheirTier) {
+  const core::SystemModel sys = d695();
+  const EvalContext ctx(sys, power::PowerBudget::unconstrained());
+  // Prefer the last two modules of the base order: each must move to
+  // the front of its own tier, in preferred relative order, without any
+  // module crossing tiers.
+  const std::vector<int>& base = ctx.base_order();
+  ASSERT_GE(base.size(), 2u);
+  const std::vector<int> preferred = {base[base.size() - 1], base[base.size() - 2]};
+  const std::vector<int> projected = ctx.projected_order(preferred);
+  ASSERT_EQ(projected.size(), base.size());
+  // Same multiset of modules.
+  std::vector<int> a = projected;
+  std::vector<int> b = base;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // Tier boundaries preserved: each segment holds the same module set.
+  for (const EvalContext::Segment& seg : ctx.segments()) {
+    std::vector<int> sa(projected.begin() + static_cast<std::ptrdiff_t>(seg.begin),
+                        projected.begin() + static_cast<std::ptrdiff_t>(seg.end));
+    std::vector<int> sb(base.begin() + static_cast<std::ptrdiff_t>(seg.begin),
+                        base.begin() + static_cast<std::ptrdiff_t>(seg.end));
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    EXPECT_EQ(sa, sb);
+  }
+  // Within the tier that holds both preferred modules, they lead it in
+  // preferred order.
+  for (const EvalContext::Segment& seg : ctx.segments()) {
+    const auto begin = projected.begin() + static_cast<std::ptrdiff_t>(seg.begin);
+    const auto end = projected.begin() + static_cast<std::ptrdiff_t>(seg.end);
+    const bool has0 = std::find(begin, end, preferred[0]) != end;
+    const bool has1 = std::find(begin, end, preferred[1]) != end;
+    if (has0 && has1) {
+      EXPECT_EQ(*begin, preferred[0]);
+      EXPECT_EQ(*(begin + 1), preferred[1]);
+    } else if (has0) {
+      EXPECT_EQ(*begin, preferred[0]);
+    } else if (has1) {
+      EXPECT_EQ(*begin, preferred[1]);
+    }
+  }
+}
+
+TEST(ProjectedOrder, UnknownModuleIdIsRejected) {
+  const core::SystemModel sys = d695();
+  const EvalContext ctx(sys, power::PowerBudget::unconstrained());
+  EXPECT_THROW((void)ctx.projected_order({0}), Error);
+  EXPECT_THROW(
+      (void)ctx.projected_order({static_cast<int>(sys.soc().modules.size()) + 1}), Error);
+}
+
+}  // namespace
+}  // namespace nocsched::search

@@ -1,0 +1,88 @@
+// Satellite property: chaining PairTable::apply_faults across every
+// prefix of a fault stream must land bit-identically on the from-scratch
+// degraded build of that prefix — the invariant that lets the timeline
+// engine keep one master table alive across K events instead of
+// rebuilding from pristine at every replan.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pair_table.hpp"
+#include "core/placement.hpp"
+#include "itc02/builtin.hpp"
+#include "itc02/random_soc.hpp"
+#include "search/fault_stream.hpp"
+
+namespace nocsched::search {
+namespace {
+
+core::SystemModel random_system(Rng& rng) {
+  itc02::RandomSocSpec spec;
+  spec.min_cores = 2;
+  spec.max_cores = 10;
+  spec.max_scan_flops = 1200;
+  spec.max_patterns = 100;
+  itc02::Soc soc = itc02::random_soc(rng, spec);
+  const int procs = static_cast<int>(1 + rng.below(3));
+  for (int i = 1; i <= procs; ++i) {
+    const auto kind =
+        rng.chance(0.5) ? itc02::ProcessorKind::kLeon : itc02::ProcessorKind::kPlasma;
+    soc.modules.push_back(
+        itc02::processor_module(kind, static_cast<int>(soc.modules.size()) + 1, i));
+  }
+  itc02::validate(soc);
+  const int cols = static_cast<int>(2 + rng.below(3));
+  const int rows = static_cast<int>(2 + rng.below(3));
+  noc::Mesh mesh(cols, rows);
+  auto placement = core::default_placement(soc, mesh);
+  const noc::RouterId in = core::default_ate_input(mesh);
+  const noc::RouterId out = core::default_ate_output(mesh);
+  core::PlannerParams params = core::PlannerParams::paper();
+  params.allow_cross_pairing = rng.chance(0.5);
+  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
+                           params);
+}
+
+/// Chain one master table through every event of `stream` and compare
+/// it against a from-scratch degraded build at every prefix.
+void expect_chained_prefixes_match_scratch(const core::SystemModel& sys,
+                                           const FaultStream& stream) {
+  core::PairTable master(sys);
+  for (std::size_t prefix = 1; prefix <= stream.events.size(); ++prefix) {
+    const noc::FaultSet faults = stream.cumulative(prefix);
+    master.apply_faults(sys, faults);
+    EXPECT_EQ(master, core::PairTable(sys, faults))
+        << "prefix " << prefix << " of " << stream.events.size() << ": "
+        << faults.describe();
+    // A single jump from pristine to this prefix must land there too.
+    core::PairTable jump(sys);
+    jump.apply_faults(sys, faults);
+    EXPECT_EQ(jump, master) << "single-jump diverged at prefix " << prefix;
+  }
+}
+
+TEST(StreamPrefixProperty, ChainedApplyMatchesScratchOnPaperSystems) {
+  for (const std::string& soc : itc02::builtin_names()) {
+    const core::SystemModel sys = core::SystemModel::paper_system(
+        soc, itc02::ProcessorKind::kLeon, 6, core::PlannerParams::paper());
+    const FaultStream stream = random_fault_stream(sys, 6, 0xFA017, 100000);
+    expect_chained_prefixes_match_scratch(sys, stream);
+  }
+}
+
+class StreamPrefixRandomSystems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamPrefixRandomSystems, ChainedApplyMatchesScratch) {
+  Rng rng(GetParam());
+  const core::SystemModel sys = random_system(rng);
+  const FaultStream stream = random_fault_stream(sys, 5, GetParam() ^ 0x57F3A, 20000);
+  expect_chained_prefixes_match_scratch(sys, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamPrefixRandomSystems,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace nocsched::search

@@ -39,7 +39,14 @@
 //                       (dead silicon: excluded from test and service)
 //   --fault-sweep K     replay + replan K seeded random fault scenarios
 //                       (one random link each, sometimes a processor)
-//   --fault-seed S      RNG seed for --fault-sweep (default 0xFA017)
+//   --fault-stream K    online fault timeline: K seeded random fault
+//                       events injected mid-execution, each driving an
+//                       incremental warm-started replan
+//   --fault-stream-file F
+//                       load the fault timeline from a JSONL file
+//                       (one {"cycle":..,"links":[..],...} per line)
+//   --fault-seed S      RNG seed for --fault-sweep / --fault-stream
+//                       scenario generation (default 0xFA017)
 //   --metrics <fmt>     collect metrics and print a report to stderr
 //                       after the run: table | csv | json | prom
 //                       (stdout stays byte-identical to a plain run)
@@ -76,11 +83,14 @@
 #include "report/metrics_report.hpp"
 #include "report/schedule_json.hpp"
 #include "report/schedule_text.hpp"
+#include "report/timeline_report.hpp"
 #include "report/trace_report.hpp"
 #include "search/driver.hpp"
+#include "search/fault_stream.hpp"
 #include "search/replan.hpp"
 #include "sim/cross_check.hpp"
 #include "sim/robustness.hpp"
+#include "sim/timeline.hpp"
 #include "sim/validate.hpp"
 
 namespace {
@@ -109,13 +119,18 @@ struct Options {
   std::string fail_routers;  // "N,M"
   std::string fail_procs;    // "N,M" module ids
   std::uint64_t fault_sweep = 0;
-  std::optional<std::uint64_t> fault_seed;  // default 0xFA017; only with --fault-sweep
+  std::uint64_t fault_stream = 0;        // K random timed events
+  std::string fault_stream_file;         // JSONL timeline, one event per line
+  std::optional<std::uint64_t> fault_seed;  // default 0xFA017; seeds sweep/stream
   std::string metrics;    // report format, empty = no metrics collection
   std::string trace_out;  // chrome://tracing output path, empty = no trace
 
+  [[nodiscard]] bool stream_mode() const {
+    return fault_stream > 0 || !fault_stream_file.empty();
+  }
   [[nodiscard]] bool fault_mode() const {
     return !fail_links.empty() || !fail_routers.empty() || !fail_procs.empty() ||
-           fault_sweep > 0;
+           fault_sweep > 0 || stream_mode();
   }
 };
 
@@ -128,6 +143,7 @@ struct Options {
                "       [--wrapper N] [--format table|gantt|csv|json|all] [--mesh CxR]\n"
                "       [--simulate] [--fail-links A:B,...] [--fail-routers N,...]\n"
                "       [--fail-procs N,...] [--fault-sweep K] [--fault-seed S]\n"
+               "       [--fault-stream K] [--fault-stream-file FILE]\n"
                "       [--metrics table|csv|json|prom] [--trace-out FILE]\n"
                "  --search picks the order-search strategy and --iters its\n"
                "  order-evaluation budget (--restarts N is a legacy alias for\n"
@@ -138,7 +154,10 @@ struct Options {
                "  reports observed vs planned timing; --fail-links/--fail-routers/\n"
                "  --fail-procs inject faults (the pristine plan is replayed on the\n"
                "  degraded mesh and then replanned fault-aware); --fault-sweep runs\n"
-               "  K seeded random fault scenarios; --metrics prints a metrics report\n"
+               "  K seeded random fault scenarios; --fault-stream K injects K seeded\n"
+               "  random fault events mid-execution (--fault-stream-file FILE loads\n"
+               "  the timeline from a JSONL file instead), replanning incrementally\n"
+               "  and warm-started at every event; --metrics prints a metrics report\n"
                "  to stderr and --trace-out writes a chrome://tracing phase trace.\n";
   std::exit(2);
 }
@@ -150,7 +169,7 @@ Options parse_args(int argc, char** argv) {
       "soc",  "soc-file", "cpu",  "procs",   "power",  "policy", "choice", "search",
       "iters", "restarts", "seed", "jobs", "wrapper", "format", "mesh",
       "fail-links", "fail-routers", "fail-procs", "fault-sweep", "fault-seed",
-      "metrics", "trace-out"};
+      "fault-stream", "fault-stream-file", "metrics", "trace-out"};
   static const std::set<std::string> flag_keys = {"simulate"};
 
   Options opt;
@@ -231,6 +250,12 @@ Options parse_args(int argc, char** argv) {
     } else if (key == "fault-sweep") {
       opt.fault_sweep = parse_u64(value, "--fault-sweep");
       ensure(opt.fault_sweep > 0, "--fault-sweep expects at least 1 scenario");
+    } else if (key == "fault-stream") {
+      opt.fault_stream = parse_u64(value, "--fault-stream");
+      ensure(opt.fault_stream > 0, "--fault-stream expects at least 1 event");
+    } else if (key == "fault-stream-file") {
+      ensure(!value.empty(), "--fault-stream-file expects a file path");
+      opt.fault_stream_file = value;
     } else if (key == "fault-seed") {
       opt.fault_seed = parse_u64(value, "--fault-seed");
     } else if (key == "metrics") {
@@ -268,8 +293,18 @@ Options parse_args(int argc, char** argv) {
   ensure(!(opt.fault_sweep > 0 &&
            (!opt.fail_links.empty() || !opt.fail_routers.empty() || !opt.fail_procs.empty())),
          "--fault-sweep generates its own scenarios and cannot be combined with --fail-*");
-  ensure(!(opt.fault_seed.has_value() && opt.fault_sweep == 0),
-         "--fault-seed only seeds --fault-sweep scenarios; it has no effect without it");
+  ensure(!(opt.fault_stream > 0 && !opt.fault_stream_file.empty()),
+         "--fault-stream generates a random timeline and --fault-stream-file loads an "
+         "explicit one; give one or the other");
+  ensure(!(opt.stream_mode() &&
+           (!opt.fail_links.empty() || !opt.fail_routers.empty() || !opt.fail_procs.empty())),
+         "a fault stream carries its own timed fault events and cannot be combined with "
+         "--fail-*");
+  ensure(!(opt.stream_mode() && opt.fault_sweep > 0),
+         "--fault-sweep and --fault-stream are separate modes; give one or the other");
+  ensure(!(opt.fault_seed.has_value() && opt.fault_sweep == 0 && opt.fault_stream == 0),
+         "--fault-seed only seeds generated scenarios (--fault-sweep or --fault-stream); "
+         "it has no effect without one of them");
   return opt;
 }
 
@@ -289,8 +324,11 @@ noc::FaultSet build_fault_set(const Options& opt, const core::SystemModel& sys) 
     for (const std::string_view spec : split(opt.fail_links, ',')) {
       const auto ends = split(spec, ':');
       ensure(ends.size() == 2, "--fail-links expects FROM:TO router pairs, got '", spec, "'");
-      faults.fail_channel(sys.mesh().channel_between(parse_router(ends[0], "--fail-links"),
-                                                     parse_router(ends[1], "--fail-links")));
+      const noc::RouterId from = parse_router(ends[0], "--fail-links");
+      const noc::RouterId to = parse_router(ends[1], "--fail-links");
+      ensure(sys.mesh().hop_count(from, to) == 1, "--fail-links: routers ", from, " and ", to,
+             " are not adjacent (channels join mesh neighbours only)");
+      faults.fail_channel(sys.mesh().channel_between(from, to));
     }
   }
   if (!opt.fail_routers.empty()) {
@@ -437,6 +475,41 @@ int run_fault_sweep(const Options& opt, const core::SystemModel& sys,
   return 0;
 }
 
+/// Online fault timeline: K timed events, one incremental warm-started
+/// replan per event, the whole history replayed and audited.
+int run_fault_stream(const Options& opt, const core::SystemModel& sys,
+                     const power::PowerBudget& budget, const core::Schedule& schedule,
+                     const search::SearchOptions& ropts, bool all) {
+  ensure(opt.format != "gantt", "--fault-stream supports --format table|csv|json|all");
+  const search::FaultStream stream = [&] {
+    if (!opt.fault_stream_file.empty()) {
+      return search::load_fault_stream(opt.fault_stream_file, sys);
+    }
+    // Random events land inside the pristine run: the horizon is the
+    // makespan the stream is about to disrupt.
+    return search::random_fault_stream(sys, opt.fault_stream,
+                                       opt.fault_seed.value_or(0xFA017),
+                                       schedule.makespan);
+  }();
+  const sim::TimelineResult result = sim::replay_timeline(sys, budget, stream, ropts);
+  const sim::TimelineCheck check = sim::validate_timeline(sys, stream, result);
+  if (opt.format == "table" || all) {
+    std::cout << report::timeline_table(sys, stream, result);
+  }
+  if (opt.format == "csv" || all) {
+    std::cout << report::timeline_csv(sys, stream, result);
+  }
+  if (opt.format == "json" || all) {
+    std::cout << report::timeline_json(sys, stream, result);
+  }
+  if (!check.ok()) {
+    std::cerr << "timeline validation failed:\n";
+    for (const std::string& v : check.violations) std::cerr << "  - " << v << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int run(const Options& opt) {
   core::PlannerParams params = core::PlannerParams::paper();
   params.priority = opt.policy;
@@ -489,6 +562,9 @@ int run(const Options& opt) {
     ropts.iters = searching ? opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256) : 0;
     ropts.seed = opt.seed;
     ropts.jobs = opt.jobs;
+    if (opt.stream_mode()) {
+      return run_fault_stream(opt, sys, budget, schedule, ropts, all);
+    }
     return opt.fault_sweep > 0
                ? run_fault_sweep(opt, sys, budget, schedule, ropts, all)
                : run_fault_scenario(opt, sys, budget, schedule, ropts, all);
