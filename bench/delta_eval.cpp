@@ -1,0 +1,144 @@
+// Delta-evaluation speedup: the same anneal search priced through the
+// delta kernel (checkpointed PlannerState + suffix re-pricing) versus
+// the reference from-scratch planner, on the three paper systems.  The
+// machine-readable "DE" rows feed the delta_eval section of
+// BENCH_headline.json (via scripts/bench_headline_json.sh) so the
+// kernel's speedup is tracked across revisions.
+//
+//   DE <soc> <procs> <strategy> <iters> <full_ms> <delta_ms>
+//      <full_orders_per_sec> <delta_orders_per_sec> <speedup>
+//      <suffix_p50> <best>
+//
+// (<suffix_p50> is the median re-priced suffix length in commits, as
+// the upper bound of the delta.suffix_commits histogram bucket holding
+// the median; ">N" when it lands in the overflow bucket.  <best> is the
+// best makespan, identical in both lanes by the kernel's bit-identity
+// property — the bench re-asserts it.)
+//
+// The bench exits non-zero unless the delta lane beats the full lane on
+// every system (a suffix re-pricer slower than from-scratch planning is
+// a regression, full stop) and clears kMinSpeedupP93791 on the largest
+// system, where suffix reuse has the most to win.
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "search/driver.hpp"
+#include "sim/validate.hpp"
+
+namespace {
+
+using namespace nocsched;
+
+/// Minimum delta/full orders-per-second ratio on p93791 (the headline
+/// acceptance bar; the measured ratio runs well above it).
+constexpr double kMinSpeedupP93791 = 5.0;
+
+struct LaneResult {
+  double ms = 0;  ///< best of kReps
+  search::SearchResult result;
+};
+
+LaneResult run_lane(const core::SystemModel& sys, const search::SearchOptions& options) {
+  constexpr int kReps = 3;
+  LaneResult lane;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    search::SearchResult result = search::search_orders(
+        sys, power::PowerBudget::unconstrained(), options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < lane.ms) lane.ms = ms;
+    lane.result = std::move(result);
+  }
+  return lane;
+}
+
+/// Median bucket of the delta.suffix_commits histogram, printed as the
+/// bucket's inclusive upper bound (">N" for the overflow bucket).
+std::string suffix_p50(const search::SearchResult& r) {
+  const auto it = r.metrics.histograms.find("delta.suffix_commits");
+  if (it == r.metrics.histograms.end() || it->second.count == 0) return "0";
+  const obs::HistogramSnapshot& h = it->second;
+  const std::uint64_t half = (h.count + 1) / 2;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    seen += h.counts[b];
+    if (seen >= half) {
+      if (b < h.bounds.size()) return std::to_string(h.bounds[b]);
+      return ">" + std::to_string(h.bounds.back());
+    }
+  }
+  return "0";
+}
+
+}  // namespace
+
+int main() {
+  try {
+    const core::PlannerParams params = core::PlannerParams::paper();
+    constexpr std::uint64_t kIters = 256;
+    std::cout << "Delta evaluation vs from-scratch planning: anneal, " << kIters
+              << " order evaluations, jobs 1, seed 0x5EED\n\n";
+    std::cout << "   soc procs strategy iters full_ms delta_ms full_o/s delta_o/s "
+                 "speedup suffix_p50 best\n";
+    bool ok = true;
+    for (const std::string& soc : itc02::builtin_names()) {
+      const int procs = soc == "d695" ? 6 : 8;
+      const core::SystemModel sys =
+          core::SystemModel::paper_system(soc, itc02::ProcessorKind::kLeon, procs, params);
+
+      search::SearchOptions options;
+      options.strategy = search::StrategyKind::kAnneal;
+      options.iters = kIters;
+      options.seed = 0x5EED;
+      options.jobs = 1;  // one thread: the rows price the kernel, not the pool
+
+      options.delta = false;
+      const LaneResult full = run_lane(sys, options);
+      options.delta = true;
+      const LaneResult delta = run_lane(sys, options);
+      sim::validate_or_throw(sys, delta.result.best);
+
+      // The kernel's bit-identity property, re-asserted end to end.
+      if (delta.result.best.makespan != full.result.best.makespan ||
+          delta.result.best.sessions != full.result.best.sessions) {
+        std::cerr << "bench failed: delta lane diverged from the full lane on " << soc
+                  << " (" << delta.result.best.makespan << " vs "
+                  << full.result.best.makespan << ")\n";
+        return 1;
+      }
+
+      const auto evals =
+          static_cast<double>(full.result.metrics.counter_or("search.evaluations"));
+      const double full_ops = 1000.0 * evals / full.ms;
+      const double delta_ops = 1000.0 * evals / delta.ms;
+      const double speedup = delta_ops / full_ops;
+      std::cout << "DE " << soc << " " << procs << " anneal " << kIters << " "
+                << std::fixed << std::setprecision(3) << full.ms << " " << delta.ms << " "
+                << std::setprecision(1) << full_ops << " " << delta_ops << " "
+                << std::setprecision(2) << speedup << " " << suffix_p50(delta.result)
+                << " " << delta.result.best.makespan << "\n";
+
+      if (speedup <= 1.0) {
+        std::cerr << "bench failed: delta lane no faster than full on " << soc << " ("
+                  << speedup << "x)\n";
+        ok = false;
+      }
+      if (soc == "p93791" && speedup < kMinSpeedupP93791) {
+        std::cerr << "bench failed: p93791 speedup " << speedup << "x below the "
+                  << kMinSpeedupP93791 << "x bar\n";
+        ok = false;
+      }
+    }
+    std::cout << "\n(DE rows are parsed into BENCH_headline.json's delta_eval section)\n";
+    if (!ok) return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,14 +5,17 @@
 // planner's speed is tracked across revisions; the bench also asserts
 // that the parallel run reproduces the serial result bit-for-bit.
 //
-//   MSP <soc> <procs> <orders> <jobs> <wall_ms> <orders_per_sec> <best> <hw_threads> <strategy> <iters>
+//   MSP <soc> <procs> <orders> <jobs> <wall_ms> <orders_per_sec> <best> <hw_threads> <strategy> <iters> <eval_mode>
 //
 // (<hw_threads> is the recording machine's hardware concurrency —
 // multi-job rows only show real scaling when jobs <= hw_threads.
 // <strategy>/<iters> name the search strategy and its iteration budget
 // so planner_perf trajectories stay comparable across revisions that
 // change the search engine; this bench times the `restart` strategy,
-// the planner's raw orders/sec floor.)
+// the planner's raw orders/sec floor.  <eval_mode> is full|delta:
+// whether orders were priced by from-scratch reference plans or the
+// delta-evaluation kernel — multistart prices every order in full, so
+// rows here say `full`; bench_delta_eval covers the delta lane.)
 //
 // It also prices the observability layer on the biggest paper system:
 // the same multistart body A/B-timed with metrics collection off and
@@ -80,7 +83,7 @@ int main() {
         std::cout << "MSP " << soc << " " << procs << " " << r.restarts << " " << jobs << " "
                   << ms << " " << 1000.0 * static_cast<double>(r.restarts) / ms << " "
                   << r.best.makespan << " " << hardware_jobs() << " restart " << kRestarts
-                  << "\n";
+                  << " full\n";
       }
     }
     {

@@ -1,5 +1,7 @@
 #include "core/schedule.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace nocsched::core {
@@ -17,6 +19,45 @@ std::size_t Schedule::sessions_using(int resource) const {
     if (s.source_resource == resource || s.sink_resource == resource) ++n;
   }
   return n;
+}
+
+ScheduleIndex::ScheduleIndex(const Schedule& schedule) : schedule_(schedule) {
+  int max_module = -1;
+  int max_resource = -1;
+  for (const Session& s : schedule.sessions) {
+    max_module = std::max(max_module, s.module_id);
+    max_resource = std::max({max_resource, s.source_resource, s.sink_resource});
+  }
+  by_module_.assign(static_cast<std::size_t>(max_module + 1), knone);
+  use_counts_.assign(static_cast<std::size_t>(max_resource + 1), 0);
+  for (std::size_t i = 0; i < schedule.sessions.size(); ++i) {
+    const Session& s = schedule.sessions[i];
+    if (s.module_id >= 0 && by_module_[static_cast<std::size_t>(s.module_id)] == knone) {
+      by_module_[static_cast<std::size_t>(s.module_id)] = static_cast<std::uint32_t>(i);
+    }
+    if (s.source_resource >= 0) {
+      ++use_counts_[static_cast<std::size_t>(s.source_resource)];
+    }
+    if (s.sink_resource >= 0 && s.sink_resource != s.source_resource) {
+      ++use_counts_[static_cast<std::size_t>(s.sink_resource)];
+    }
+  }
+}
+
+const Session& ScheduleIndex::session_for(int module_id) const {
+  if (module_id < 0 || static_cast<std::size_t>(module_id) >= by_module_.size()) {
+    // Negative ids never hit the table; delegate for the identical
+    // not-found error.
+    return schedule_.session_for(module_id);
+  }
+  const std::uint32_t i = by_module_[static_cast<std::size_t>(module_id)];
+  if (i == knone) fail("Schedule: no session for module ", module_id);
+  return schedule_.sessions[i];
+}
+
+std::size_t ScheduleIndex::sessions_using(int resource) const {
+  if (resource < 0 || static_cast<std::size_t>(resource) >= use_counts_.size()) return 0;
+  return use_counts_[static_cast<std::size_t>(resource)];
 }
 
 }  // namespace nocsched::core

@@ -152,8 +152,9 @@ core::Schedule observed_schedule(const core::Schedule& plan, const des::SimTrace
   out.power_limit = plan.power_limit;
   out.peak_power = trace.peak_power;
   out.makespan = trace.observed_makespan;
+  const core::ScheduleIndex plan_index(plan);
   for (const des::SessionTrace& t : trace.sessions) {
-    const core::Session& planned = plan.session_for(t.module_id);
+    const core::Session& planned = plan_index.session_for(t.module_id);
     core::Session s = planned;
     s.start = t.observed_start;
     s.end = t.observed_end;

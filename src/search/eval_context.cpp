@@ -97,6 +97,10 @@ core::Schedule EvalContext::plan(const std::vector<int>& order) const {
                  : core::plan_tests_with_order(sys_, budget_, order, pairs_);
 }
 
+core::DeltaPlanner EvalContext::make_delta_planner(std::uint32_t checkpoint_spacing) const {
+  return core::DeltaPlanner(sys_, budget_, pairs_, pretested_, checkpoint_spacing);
+}
+
 std::vector<int> EvalContext::projected_order(const std::vector<int>& preferred) const {
   // Rank of each module in the preferred order; modules absent from it
   // rank after every present one, breaking ties by base-order position

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/delta_planner.hpp"
 #include "core/pair_table.hpp"
 #include "core/schedule.hpp"
 #include "core/system_model.hpp"
@@ -57,6 +58,14 @@ class EvalContext {
 
   /// Full schedule for `order` (deterministic pass and final winner).
   [[nodiscard]] core::Schedule plan(const std::vector<int>& order) const;
+
+  /// A delta-evaluation kernel over this context's system, budget, and
+  /// pair table: DeltaPlanner::evaluate prices any order this context's
+  /// evaluate() accepts, bit-identically, re-pricing only the schedule
+  /// suffix a move perturbs.  The kernel borrows this context's table —
+  /// it must not outlive the context.  One kernel per search chain: it
+  /// is stateful (incumbent trace + checkpoints) and single-threaded.
+  [[nodiscard]] core::DeltaPlanner make_delta_planner(std::uint32_t checkpoint_spacing) const;
 
   /// The deterministic priority order (concatenation of the tiers).
   [[nodiscard]] const std::vector<int>& base_order() const { return base_order_; }

@@ -162,12 +162,13 @@ class TimelineEngine {
       draining = std::move(still_draining);
 
       // Fate of everything this epoch's plan launched, at the cut.
+      const core::ScheduleIndex plan_index(epoch.replan.schedule);
       for (const des::SessionTrace& s : epoch.trace.sessions) {
         if (s.observed_end <= local) {
           complete(s.module_id, e, origin + s.observed_start, origin + s.observed_end);
           ++epoch.completed;
         } else if (s.observed_start < local) {
-          const core::Session& planned = epoch.replan.schedule.session_for(s.module_id);
+          const core::Session& planned = plan_index.session_for(s.module_id);
           std::string touched = touch_reason(sys_, planned, event.increment);
           if (touched.empty()) {
             // Drains to completion while the next replan happens; the

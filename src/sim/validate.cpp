@@ -19,22 +19,45 @@ namespace {
 
 bool near(double a, double b) { return std::abs(a - b) <= 1e-6 * (std::abs(a) + std::abs(b) + 1.0); }
 
-bool module_exists(const itc02::Soc& soc, int id) {
-  for (const itc02::Module& m : soc.modules) {
-    if (m.id == id) return true;
+/// Dense module-id lookup: the validator consults the module list for
+/// every session, and a linear scan per query made validation
+/// O(sessions x modules).
+class ModuleLut {
+ public:
+  explicit ModuleLut(const itc02::Soc& soc) {
+    int max_id = -1;
+    for (const itc02::Module& m : soc.modules) max_id = std::max(max_id, m.id);
+    by_id_.assign(static_cast<std::size_t>(max_id + 1), nullptr);
+    for (const itc02::Module& m : soc.modules) {
+      by_id_[static_cast<std::size_t>(m.id)] = &m;
+    }
   }
-  return false;
-}
+
+  /// The module with `id`, or nullptr for ids the SoC doesn't define.
+  [[nodiscard]] const itc02::Module* find(int id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= by_id_.size()) return nullptr;
+    return by_id_[static_cast<std::size_t>(id)];
+  }
+
+  /// One past the largest defined module id.
+  [[nodiscard]] std::size_t id_bound() const { return by_id_.size(); }
+
+ private:
+  std::vector<const itc02::Module*> by_id_;
+};
 
 }  // namespace
 
-std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy, int source,
-                                        int sink, const Interval& iv) {
+namespace {
+
+template <typename BusyOf>
+std::vector<int> book_session_resources_impl(BusyOf&& busy_of, int source, int sink,
+                                             const Interval& iv) {
   std::vector<int> conflicts;
   const int resources[] = {source, sink};
   const int roles = source == sink ? 1 : 2;
   for (int i = 0; i < roles; ++i) {
-    IntervalSet& set = busy[resources[i]];
+    IntervalSet& set = busy_of(resources[i]);
     if (set.conflicts(iv)) {
       conflicts.push_back(resources[i]);
     } else {
@@ -42,6 +65,21 @@ std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy, int so
     }
   }
   return conflicts;
+}
+
+}  // namespace
+
+std::vector<int> book_session_resources(std::map<int, IntervalSet>& busy, int source,
+                                        int sink, const Interval& iv) {
+  return book_session_resources_impl([&](int r) -> IntervalSet& { return busy[r]; }, source,
+                                     sink, iv);
+}
+
+std::vector<int> book_session_resources(std::span<IntervalSet> busy, int source, int sink,
+                                        const Interval& iv) {
+  return book_session_resources_impl(
+      [&](int r) -> IntervalSet& { return busy[static_cast<std::size_t>(r)]; }, source, sink,
+      iv);
 }
 
 namespace {
@@ -56,23 +94,47 @@ ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedul
 
   const auto& endpoints = sys.endpoints();
   auto endpoint_ok = [&](int r) { return r >= 0 && static_cast<std::size_t>(r) < endpoints.size(); };
+  const ModuleLut modules(sys.soc());
 
   // 1. Coverage: each module exactly once — at most once for a
   // fault-aware replan, whose dead/unroutable modules are legitimately
-  // absent (search::replan reports the losses explicitly).
-  std::map<int, int> seen;
-  for (const core::Session& s : schedule.sessions) seen[s.module_id] += 1;
+  // absent (search::replan reports the losses explicitly).  Counts are
+  // dense per module id; ids outside the SoC's range spill to `stray`.
+  std::vector<int> seen(modules.id_bound(), 0);
+  std::map<int, int> stray;
+  for (const core::Session& s : schedule.sessions) {
+    if (s.module_id >= 0 && static_cast<std::size_t>(s.module_id) < seen.size()) {
+      seen[static_cast<std::size_t>(s.module_id)] += 1;
+    } else {
+      stray[s.module_id] += 1;
+    }
+  }
   for (const itc02::Module& m : sys.soc().modules) {
-    const int count = seen.count(m.id) ? seen[m.id] : 0;
+    int& count = seen[static_cast<std::size_t>(m.id)];
     const int expected_min = faults == nullptr ? 1 : 0;
     if (count < expected_min || count > 1) {
       violation("module ", m.id, " ('", m.name, "') tested ", count, " times (expected ",
                 faults == nullptr ? "1" : "at most 1", ")");
     }
-    seen.erase(m.id);
+    count = 0;  // consumed: what remains non-zero has no module
   }
-  for (const auto& [id, count] : seen) {
-    violation("schedule tests unknown module ", id, " (", count, " sessions)");
+  // Unknown ids in ascending order (the order the old sorted-map walk
+  // produced): strays below zero, in-range ids with no module, strays
+  // past the id range.
+  auto stray_it = stray.begin();
+  for (; stray_it != stray.end() && stray_it->first < 0; ++stray_it) {
+    violation("schedule tests unknown module ", stray_it->first, " (", stray_it->second,
+              " sessions)");
+  }
+  for (std::size_t id = 0; id < seen.size(); ++id) {
+    if (seen[id] > 0) {
+      violation("schedule tests unknown module ", static_cast<int>(id), " (", seen[id],
+                " sessions)");
+    }
+  }
+  for (; stray_it != stray.end(); ++stray_it) {
+    violation("schedule tests unknown module ", stray_it->first, " (", stray_it->second,
+              " sessions)");
   }
 
   // 2. Extents and makespan.
@@ -92,18 +154,18 @@ ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedul
   // ready from instant 0 even though this plan has no session for them.
   std::map<int, std::uint64_t> processor_ready;  // module id -> own test end
   for (const int id : pretested) {
-    if (module_exists(sys.soc(), id) && sys.soc().module(id).is_processor) {
+    if (const itc02::Module* m = modules.find(id); m != nullptr && m->is_processor) {
       processor_ready[id] = 0;
     }
   }
   for (const core::Session& s : schedule.sessions) {
-    if (module_exists(sys.soc(), s.module_id) && sys.soc().module(s.module_id).is_processor) {
+    if (const itc02::Module* m = modules.find(s.module_id); m != nullptr && m->is_processor) {
       processor_ready[s.module_id] = s.end;
     }
   }
 
   // 3/4/7. Resource usage.
-  std::map<int, IntervalSet> resource_busy;
+  std::vector<IntervalSet> resource_busy(endpoints.size());
   for (const core::Session& s : schedule.sessions) {
     if (!endpoint_ok(s.source_resource) || !endpoint_ok(s.sink_resource)) {
       violation("module ", s.module_id, ": resource index out of range");
@@ -118,9 +180,8 @@ ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedul
       violation("module ", s.module_id, ": ", snk.name(), " cannot sink");
     }
     if (faults != nullptr) {
-      if (module_exists(sys.soc(), s.module_id) &&
-          sys.soc().module(s.module_id).is_processor &&
-          faults->processor_failed(s.module_id)) {
+      if (const itc02::Module* m = modules.find(s.module_id);
+          m != nullptr && m->is_processor && faults->processor_failed(s.module_id)) {
         violation("module ", s.module_id, " is a failed processor but is scheduled");
       }
       for (const core::Endpoint* ep : {&src, &snk}) {
@@ -162,7 +223,7 @@ ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedul
     if (!endpoint_ok(s.source_resource) || !endpoint_ok(s.sink_resource)) continue;
     const core::Endpoint& src = endpoints[static_cast<std::size_t>(s.source_resource)];
     const core::Endpoint& snk = endpoints[static_cast<std::size_t>(s.sink_resource)];
-    if (!module_exists(sys.soc(), s.module_id)) continue;
+    if (modules.find(s.module_id) == nullptr) continue;
     const noc::RouterId at = sys.router_of(s.module_id);
     if (faults == nullptr) {
       if (s.path_in != noc::xy_route(sys.mesh(), src.router, at)) {
@@ -228,7 +289,7 @@ ValidationReport validate_impl(const core::SystemModel& sys, const core::Schedul
     if (s.end <= s.start) continue;
     profile.add({s.start, s.end}, s.power);
     if (!endpoint_ok(s.source_resource) || !endpoint_ok(s.sink_resource)) continue;
-    if (!module_exists(sys.soc(), s.module_id)) continue;
+    if (modules.find(s.module_id) == nullptr) continue;
     const core::Endpoint& src = endpoints[static_cast<std::size_t>(s.source_resource)];
     const core::Endpoint& snk = endpoints[static_cast<std::size_t>(s.sink_resource)];
     // Role violations are reported above; the cost model cannot price an

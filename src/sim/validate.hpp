@@ -47,6 +47,13 @@ struct ValidationReport {
                                                       int source, int sink,
                                                       const Interval& iv);
 
+/// As above over a dense per-endpoint table (indices must be in
+/// range) — the validator's own loop, which books every session, uses
+/// this form instead of growing a map.
+[[nodiscard]] std::vector<int> book_session_resources(std::span<IntervalSet> busy,
+                                                      int source, int sink,
+                                                      const Interval& iv);
+
 /// Collect all violations (empty report = valid plan).
 [[nodiscard]] ValidationReport validate(const core::SystemModel& sys,
                                         const core::Schedule& schedule);

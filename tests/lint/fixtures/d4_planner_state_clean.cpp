@@ -1,0 +1,20 @@
+// Fixture: clean twin of d4_planner_state_violation — the sanctioned
+// ways to pass a PlannerState around outside its owning files.
+
+namespace core {
+class PlannerState {};
+}  // namespace core
+
+namespace demo {
+
+void reprice(const core::PlannerState& state);
+
+void adopt(core::PlannerState&& state);  // owning sink
+
+void inspect(const core::PlannerState* state);
+
+core::PlannerState checkpoint() {
+  return core::PlannerState();  // constructor call, not a parameter
+}
+
+}  // namespace demo

@@ -266,5 +266,26 @@ TEST(Validate, EmptyScheduleOfEmptySystemWouldFailCoverage) {
   EXPECT_EQ(report.violations.size(), 12u);  // one per untested module
 }
 
+TEST(Validate, ReportsUnknownModulesInAscendingIdOrder) {
+  // Regression lock for the dense coverage counters: unknown ids must
+  // still come out in ascending order — negatives, then in-range ids
+  // with no module, then ids past the SoC's range — exactly as the old
+  // sorted-map walk reported them.
+  Fixture f;
+  ASSERT_GE(f.schedule.sessions.size(), 3u);
+  f.schedule.sessions[0].module_id = 999;  // past the id range
+  f.schedule.sessions[1].module_id = -3;   // negative
+  f.schedule.sessions[2].module_id = 0;    // in range, but no module has id 0
+  const ValidationReport report = validate(f.sys, f.schedule);
+  std::vector<std::string> unknown;
+  for (const std::string& v : report.violations) {
+    if (v.find("unknown module") != std::string::npos) unknown.push_back(v);
+  }
+  ASSERT_EQ(unknown.size(), 3u);
+  EXPECT_NE(unknown[0].find("module -3 "), std::string::npos);
+  EXPECT_NE(unknown[1].find("module 0 "), std::string::npos);
+  EXPECT_NE(unknown[2].find("module 999 "), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nocsched::sim

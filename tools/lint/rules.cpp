@@ -45,6 +45,7 @@ struct SharedType {
 constexpr SharedType kSharedTypes[] = {
     {"PairTable", "src/core/pair_table."},
     {"EvalContext", "src/search/eval_context."},
+    {"PlannerState", "src/core/planner_state."},
     {"SystemModel", "src/core/system_model."},
 };
 
