@@ -15,15 +15,19 @@
 # coverage retained and makespan stretch over the timeline), and
 # bench_delta_eval's rows as a "delta_eval" array (orders/sec of the
 # delta-evaluation kernel vs from-scratch planning, suffix-length p50,
-# and the speedup the bench itself gates on).  Used to record
+# and the speedup the bench itself gates on), and bench_serve_fleet's
+# row as a "serve" array (plan-server throughput: cold vs warm batch
+# over a mixed request fleet, the warm-cache speedup the bench gates
+# on, and serial per-request latency quantiles).  Used to record
 # BENCH_headline.json data points (locally and from CI).  Usage:
 #   bench_headline_json.sh <path-to-bench_headline> [git-rev] \
 #     [path-to-bench_des_replay] [path-to-bench_multistart_perf] \
 #     [path-to-bench_search_quality] [path-to-bench_fault_sweep] \
-#     [path-to-bench_fault_stream] [path-to-bench_delta_eval]
+#     [path-to-bench_fault_stream] [path-to-bench_delta_eval] \
+#     [path-to-bench_serve_fleet]
 set -eu
 
-bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality] [path-to-bench_fault_sweep] [path-to-bench_fault_stream] [path-to-bench_delta_eval]}
+bin=${1:?usage: bench_headline_json.sh <path-to-bench_headline> [git-rev] [path-to-bench_des_replay] [path-to-bench_multistart_perf] [path-to-bench_search_quality] [path-to-bench_fault_sweep] [path-to-bench_fault_stream] [path-to-bench_delta_eval] [path-to-bench_serve_fleet]}
 rev=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}
 des_bin=${3:-}
 msp_bin=${4:-}
@@ -31,6 +35,7 @@ sq_bin=${5:-}
 fs_bin=${6:-}
 fst_bin=${7:-}
 de_bin=${8:-}
+srv_bin=${9:-}
 
 headline_out=$(mktemp)
 trap 'rm -f "$headline_out"' EXIT
@@ -182,6 +187,25 @@ if [ -n "$de_bin" ]; then
     }' "$de_out")
 fi
 
+srv_json=""
+if [ -n "$srv_bin" ]; then
+  srv_out=$(mktemp)
+  trap 'rm -f "$headline_out" "${des_out:-}" "${msp_out:-}" "${sq_out:-}" "${fs_out:-}" "${fst_out:-}" "${de_out:-}" "$srv_out"' EXIT
+  "$srv_bin" > "$srv_out"
+  srv_json=$(awk '
+    /^SRV / {
+      rows[++n] = sprintf(\
+        "    {\"requests\": %s, \"distinct_specs\": %s, \"jobs\": %s, " \
+        "\"cold_ms\": %s, \"warm_ms\": %s, \"warm_speedup\": %s, " \
+        "\"batch_plans_per_sec\": %s, \"warm_p50_us\": %s, \"warm_p99_us\": %s}",
+        $2, $3, $4, $5, $6, $7, $8, $9, $10)
+    }
+    END {
+      if (n == 0) { print "bench_headline_json.sh: no SRV rows parsed" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    }' "$srv_out")
+fi
+
 printf '{\n  "bench": "headline",\n  "date": "%s",\n  "rev": "%s",\n' \
   "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rev"
 printf '  "claims": [\n%s\n  ]' "$claims_json"
@@ -205,5 +229,8 @@ if [ -n "$fst_json" ]; then
 fi
 if [ -n "$de_json" ]; then
   printf ',\n  "delta_eval": [\n%s\n  ]' "$de_json"
+fi
+if [ -n "$srv_json" ]; then
+  printf ',\n  "serve": [\n%s\n  ]' "$srv_json"
 fi
 printf '\n}\n'

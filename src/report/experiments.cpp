@@ -6,6 +6,7 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "engine/context_cache.hpp"
 #include "sim/validate.hpp"
 
 namespace nocsched::report {
@@ -45,19 +46,35 @@ ReuseSweep run_reuse_sweep(std::string_view soc_name, itc02::ProcessorKind kind,
   // Every (processors, fraction) grid point is an independent planner
   // run writing into its own preassigned slot; parallel_for rethrows
   // the lowest-index failure, so both results and errors are identical
-  // at every job count.  Each point builds its own SystemModel — the
-  // model is cheap next to planning, and sharing one across threads
-  // would serialize nothing anyway (it is only read).
+  // at every job count.  The grid's power rows all plan the same built
+  // system, so each processor count gets one shared PlanContext from a
+  // ContextCache (reserved serially — deterministic contents) instead
+  // of rebuilding its SystemModel and PairTable per point.
   const std::size_t rows = power_fractions.size();
+  engine::ContextCache cache(std::max<std::size_t>(processor_counts.size(), 1));
+  std::vector<engine::ContextCache::SlotHandle> slots;
+  slots.reserve(processor_counts.size());
+  for (const int procs : processor_counts) {
+    engine::SystemSpec spec;
+    spec.soc = std::string(soc_name);
+    spec.cpu = kind;
+    spec.procs = procs;
+    spec.params = params;
+    slots.push_back(cache.reserve(spec));
+  }
   sweep.points.resize(processor_counts.size() * rows);
   parallel_for(sweep.points.size(), jobs, [&](std::size_t i) {
     const int procs = processor_counts[i / rows];
     const std::optional<double>& fraction = power_fractions[i % rows];
-    const core::SystemModel sys = core::SystemModel::paper_system(soc_name, kind, procs, params);
+    const engine::ContextCache::Handle ctx = cache.context(slots[i / rows]);
+    const core::SystemModel& sys = ctx->system();
     const power::PowerBudget budget =
         fraction ? power::PowerBudget::fraction_of_total(sys.soc(), *fraction)
                  : power::PowerBudget::unconstrained();
-    const core::Schedule schedule = core::plan_tests(sys, budget);
+    // Identical to plan_tests(sys, budget), minus the per-point
+    // priority-order and pair-table rebuilds the cache already paid for.
+    const core::Schedule schedule = core::plan_tests_with_order(
+        sys, budget, ctx->scaffold().base_order(), ctx->pristine_pairs());
     sim::validate_or_throw(sys, schedule);
     SweepPoint& point = sweep.points[i];
     point.processors = procs;

@@ -18,6 +18,16 @@ EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget&
 }
 
 EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
+                         core::PairTable&& table)
+    : sys_(sys),
+      budget_(budget),
+      pairs_(std::move(table)),
+      eligible_(core::cpu_eligible_modules(sys)),
+      base_order_(core::priority_order(sys)) {
+  build_tiers();
+}
+
+EvalContext::EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
                          core::PairTable&& table, const noc::FaultSet& faults)
     : sys_(sys),
       budget_(budget),

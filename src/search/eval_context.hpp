@@ -29,6 +29,16 @@ class EvalContext {
  public:
   EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget);
 
+  /// As the two-argument form, with the pristine PairTable moved in
+  /// instead of rebuilt: `table` must equal PairTable(sys).  The
+  /// engine's ContextCache hands per-request copies of one shared
+  /// pristine table to budget-specific contexts this way, skipping the
+  /// table build (the expensive part of context construction) on every
+  /// cache hit.  The resulting context is indistinguishable from the
+  /// two-argument form — asserted by tests/engine/.
+  EvalContext(const core::SystemModel& sys, const power::PowerBudget& budget,
+              core::PairTable&& table);
+
   /// Degraded-system context for fault-aware replanning: `table` must
   /// be the PairTable of `sys` under `faults` (from-scratch or via
   /// apply_faults — the caller picks the build path, which is what the

@@ -235,6 +235,101 @@ reject_stream_file "stream file empty increment" "1: event breaks nothing" \
   '{"cycle": 10}'
 rm -f "$streamfile"
 
+# Plan server: --serve answers JSONL requests on stdin with one JSONL
+# result per line, exit 0.
+serve_out=$(printf '%s\n' \
+  '{"id": "a", "soc": "d695", "procs": 4}' \
+  '{"id": "b", "soc": "d695", "procs": 4, "power": 50}' \
+  '{"id": "c", "soc": "d695", "procs": 4, "search": "restart", "iters": 4}' \
+  | "$cli" --serve 2>/dev/null)
+rc=$?
+if [ "$rc" -eq 0 ] && [ "$(printf '%s\n' "$serve_out" | wc -l)" -eq 3 ]; then
+  echo "ok: --serve answers three requests with three results"
+else
+  echo "FAIL: --serve produced rc=$rc / wrong line count: $serve_out" >&2
+  fails=$((fails + 1))
+fi
+case $serve_out in
+  *'"id": "a", "ok": true'*'"id": "b", "ok": true'*'"id": "c", "ok": true'*)
+    echo "ok: --serve results carry ids in input order" ;;
+  *) echo "FAIL: --serve results missing ids or out of order: $serve_out" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# A malformed line becomes a per-request error object — the process
+# answers it in-band and keeps serving, exit still 0.
+serve_err=$(printf '%s\n' \
+  '{"id": "good"}' \
+  'this is not json' \
+  '{"id": "after"}' \
+  | "$cli" --serve 2>/dev/null)
+rc=$?
+case "$rc:$serve_err" in
+  0:*'"id": "line-2", "ok": false, "error": "stdin:2: '*'"id": "after", "ok": true'*)
+    echo "ok: --serve answers a malformed line in-band and keeps serving" ;;
+  *) echo "FAIL: --serve malformed-line handling (rc=$rc): $serve_err" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# The serve path and the one-shot path are the same engine: identical
+# requests produce the same plan numbers.
+oneshot_makespan=$("$cli" --soc d695 --procs 4 --format json 2>/dev/null \
+  | sed -n 's/.*"makespan": \([0-9]*\).*/\1/p' | head -n 1)
+serve_makespan=$(printf '{"soc": "d695", "procs": 4}\n' | "$cli" --serve 2>/dev/null \
+  | sed -n 's/.*"makespan": \([0-9]*\).*/\1/p' | head -n 1)
+if [ -n "$oneshot_makespan" ] && [ "$oneshot_makespan" = "$serve_makespan" ]; then
+  echo "ok: --serve agrees with the one-shot adapter on the makespan"
+else
+  echo "FAIL: one-shot makespan '$oneshot_makespan' != serve makespan '$serve_makespan'" >&2
+  fails=$((fails + 1))
+fi
+
+# The one-shot adapters stayed byte-stable: two identical runs agree in
+# every format (the engine refactor must not leak cache or timing state
+# into output bytes).
+for fmt in table csv json; do
+  one_a=$("$cli" --soc d695 --procs 4 --power 50 --format "$fmt" 2>/dev/null)
+  one_b=$("$cli" --soc d695 --procs 4 --power 50 --format "$fmt" 2>/dev/null)
+  if [ -n "$one_a" ] && [ "$one_a" = "$one_b" ]; then
+    echo "ok: one-shot --format $fmt byte-stable"
+  else
+    echo "FAIL: two identical one-shot runs disagreed at --format $fmt" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --serve excludes the one-shot request flags (requests carry them),
+# and the serve knobs require --serve.
+for bad in "--serve --soc d695" "--serve --power 50" "--serve --simulate" \
+           "--serve --fail-procs 11" "--serve --format json" \
+           "--serve-batch 4" "--serve-cache 8"; do
+  # shellcheck disable=SC2086  # intentional word splitting of $bad
+  if "$cli" $bad >/dev/null 2>&1 </dev/null; then
+    echo "FAIL: '$bad' exited 0" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: '$bad' rejected"
+  fi
+done
+
+# ...with diagnostics that name the conflicting flag.
+err=$("$cli" --serve --soc d695 2>&1 >/dev/null </dev/null)
+case $err in
+  *'--serve'*'--soc'*) echo "ok: --serve exclusion diagnostic names the flag" ;;
+  *) echo "FAIL: --serve exclusion diagnostic unclear: $err" >&2
+     fails=$((fails + 1)) ;;
+esac
+
+# --serve with --metrics keeps stdout pure JSONL (metrics on stderr).
+serve_m=$(printf '{"id": "m"}\n' | "$cli" --serve --metrics table 2>/dev/null)
+serve_merr=$(printf '{"id": "m"}\n' | "$cli" --serve --metrics table 2>&1 >/dev/null)
+case "$serve_m:$serve_merr" in
+  '{"id": "m", "ok": true'*serve.requests*)
+    echo "ok: --serve --metrics reports serve.* on stderr, JSONL on stdout" ;;
+  *) echo "FAIL: --serve --metrics stdout/stderr split broken: $serve_m / $serve_merr" >&2
+     fails=$((fails + 1)) ;;
+esac
+
 # Observability: --metrics reports to stderr in every exposition
 # format while stdout stays byte-identical to an uninstrumented run.
 plain=$("$cli" --soc d695 --procs 4 --format csv 2>/dev/null)

@@ -1,0 +1,20 @@
+// Fixture: clean twin of d4_engine_violation — the sanctioned ways to
+// pass a cache-vended PlanContext around outside its owning files.
+
+namespace engine {
+class PlanContext {};
+}  // namespace engine
+
+namespace demo {
+
+void plan(const engine::PlanContext& ctx);
+
+void adopt(engine::PlanContext&& ctx);  // owning sink
+
+void inspect(const engine::PlanContext* ctx);
+
+engine::PlanContext rebuild() {
+  return engine::PlanContext();  // constructor call, not a parameter
+}
+
+}  // namespace demo

@@ -1,0 +1,22 @@
+// Fixture: rule D4 violations for PlanContext — the context cache's
+// vended bundle is shared by every request naming the same spec;
+// outside its owning files it may only be taken by const reference
+// (or && sink), never mutably.
+
+namespace engine {
+class PlanContext {};
+}  // namespace engine
+
+namespace demo {
+
+void plan(engine::PlanContext ctx);  // expect[D4]
+
+void warm(engine::PlanContext& ctx);  // expect[D4]
+
+void refresh(engine::PlanContext* ctx);  // expect[D4]
+
+struct Server {
+  int serve(engine::PlanContext request_ctx);  // expect[D4]
+};
+
+}  // namespace demo

@@ -86,6 +86,8 @@ const Fixture kFixtures[] = {
     {"d4_clean.cpp", "src/noc/d4_clean.cpp"},
     {"d4_planner_state_violation.cpp", "src/search/d4_planner_state_violation.cpp"},
     {"d4_planner_state_clean.cpp", "src/search/d4_planner_state_clean.cpp"},
+    {"d4_engine_violation.cpp", "src/engine/d4_engine_violation.cpp"},
+    {"d4_engine_clean.cpp", "src/engine/d4_engine_clean.cpp"},
     {"d5_violation.cpp", "src/itc02/d5_violation.cpp"},
     {"d5_clean.cpp", "src/itc02/d5_clean.cpp"},
     {"d6_violation.cpp", "src/search/d6_violation.cpp"},
@@ -107,8 +109,9 @@ TEST(LintGolden, FixturesMatchExpectMarkers) {
 }
 
 TEST(LintGolden, CleanTwinsProduceNoFindings) {
-  for (const char* name : {"d1_clean.cpp", "d2_clean.cpp", "d3_clean.cpp", "d4_clean.cpp",
-                           "d4_planner_state_clean.cpp", "d5_clean.cpp", "d6_clean.cpp"}) {
+  for (const char* name :
+       {"d1_clean.cpp", "d2_clean.cpp", "d3_clean.cpp", "d4_clean.cpp",
+        "d4_planner_state_clean.cpp", "d4_engine_clean.cpp", "d5_clean.cpp", "d6_clean.cpp"}) {
     SCOPED_TRACE(name);
     EXPECT_TRUE(parse_expects(read_fixture(name)).empty())
         << "clean fixtures must not carry expect markers";
@@ -154,8 +157,10 @@ TEST(LintScoping, RuleAppliesMatchesTheCatalogue) {
   EXPECT_FALSE(rule_applies("D6", "src/des/replay.cpp"));
   EXPECT_FALSE(rule_applies("D2", "src/obs/clock.cpp"));  // the sanctioned clock
   EXPECT_TRUE(rule_applies("D2", "src/obs/metrics.cpp"));
+  EXPECT_TRUE(rule_applies("D4", "src/engine/engine.cpp"));
   EXPECT_TRUE(rule_applies("S1", "src/core/schedule.cpp"));
   EXPECT_TRUE(rule_applies("S1", "src/search/driver.cpp"));
+  EXPECT_TRUE(rule_applies("S1", "src/engine/serve.cpp"));
   EXPECT_FALSE(rule_applies("S1", "src/itc02/parser.cpp"));
 }
 

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <string>
 
+#include "engine/context_cache.hpp"
 #include "itc02/builtin.hpp"
 #include "itc02/parser.hpp"
 #include "itc02/writer.hpp"
@@ -19,6 +20,10 @@
 int main(int argc, char** argv) {
   const std::string dir = argc > 1 ? argv[1] : NOCSCHED_DATA_DIR;
   try {
+    // Round-trips go through the same ContextCache build path every
+    // consumer of a .soc file uses (parse, processors, mesh, placement),
+    // so a file that regenerates cleanly here is known loadable there.
+    nocsched::engine::ContextCache cache(nocsched::itc02::builtin_names().size());
     for (const std::string& name : nocsched::itc02::builtin_names()) {
       const nocsched::itc02::Soc soc = nocsched::itc02::builtin_by_name(name);
       const std::string path = dir + "/" + name + ".soc";
@@ -26,6 +31,13 @@ int main(int argc, char** argv) {
       // Round-trip sanity before trusting the file.
       if (nocsched::itc02::load_file(path) != soc) {
         std::cerr << "round-trip mismatch for " << path << "\n";
+        return 1;
+      }
+      nocsched::engine::SystemSpec spec;
+      spec.soc_file = path;
+      spec.procs = 0;  // the pristine benchmark, no appended processors
+      if (cache.acquire(spec)->system().soc().modules.size() != soc.modules.size()) {
+        std::cerr << "engine build dropped modules for " << path << "\n";
         return 1;
       }
       std::cout << "wrote " << path << " (" << soc.modules.size() << " modules)\n";

@@ -78,6 +78,7 @@ constexpr SharedType kSharedTypes[] = {
     {"search::EvalContext", "EvalContext", "src/search/eval_context."},
     {"core::PlannerState", "PlannerState", "src/core/planner_state."},
     {"core::SystemModel", "SystemModel", "src/core/system_model."},
+    {"engine::PlanContext", "PlanContext", "src/engine/context_cache."},
 };
 
 // First child expression of a cursor (used to find a range-for's range

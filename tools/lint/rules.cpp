@@ -47,6 +47,7 @@ constexpr SharedType kSharedTypes[] = {
     {"EvalContext", "src/search/eval_context."},
     {"PlannerState", "src/core/planner_state."},
     {"SystemModel", "src/core/system_model."},
+    {"PlanContext", "src/engine/context_cache."},
 };
 
 }  // namespace
@@ -61,7 +62,8 @@ bool rule_applies(std::string_view rule, std::string_view rel_path) {
     return starts_with(rel_path, "src/core/") || starts_with(rel_path, "src/search/");
   }
   if (rule == "S1") {
-    return starts_with(rel_path, "src/core/") || starts_with(rel_path, "src/search/");
+    return starts_with(rel_path, "src/core/") || starts_with(rel_path, "src/search/") ||
+           starts_with(rel_path, "src/engine/");
   }
   return false;
 }
@@ -707,8 +709,8 @@ std::vector<Diagnostic> lint_source(std::string_view rel_path, std::string_view 
   if (rule_applies("S1", rel_path)) {
     for (const Suppression& sup : sups) {
       kept.push_back({std::string(rel_path), sup.line, sup.col, "S1",
-                      "suppression comments are not permitted in src/core/ or src/search/ "
-                      "(determinism-critical zones): fix the finding instead"});
+                      "suppression comments are not permitted in src/core/, src/search/, or "
+                      "src/engine/ (determinism-critical zones): fix the finding instead"});
     }
   }
   std::sort(kept.begin(), kept.end(), diag_less);

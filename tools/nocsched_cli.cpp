@@ -52,10 +52,21 @@
 //                       (stdout stays byte-identical to a plain run)
 //   --trace-out <file>  record phase spans and write a chrome://tracing
 //                       JSON document to <file>
+//   --serve             plan server: read JSONL requests from stdin and
+//                       emit one JSONL result per line (see the README's
+//                       "Plan server" section for the schema); cannot be
+//                       combined with the one-shot options above
+//   --serve-batch <n>   requests per engine batch in --serve (default 64)
+//   --serve-cache <n>   cached plan contexts in --serve (default 32)
 //
 // With any fault option the CLI plans the pristine system, replays that
 // plan on the degraded mesh (classifying every session as unaffected /
 // delayed / unroutable), then replans fault-aware and reports both.
+//
+// Every mode is a thin adapter over src/engine/: the one-shot paths
+// build a single PlanRequest and format the PlanResult, --serve runs
+// the batched JSONL loop, and all of them share the same ContextCache
+// and determinism contract.
 
 #include <cstdlib>
 #include <fstream>
@@ -73,7 +84,8 @@
 #include "core/scheduler.hpp"
 #include "core/system_model.hpp"
 #include "des/replay.hpp"
-#include "itc02/parser.hpp"
+#include "engine/engine.hpp"
+#include "engine/serve.hpp"
 #include "noc/fault.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -124,6 +136,9 @@ struct Options {
   std::optional<std::uint64_t> fault_seed;  // default 0xFA017; seeds sweep/stream
   std::string metrics;    // report format, empty = no metrics collection
   std::string trace_out;  // chrome://tracing output path, empty = no trace
+  bool serve = false;                // JSONL plan-server loop on stdin/stdout
+  std::uint64_t serve_batch = 64;    // requests per engine batch
+  std::uint64_t serve_cache = 32;    // cached plan contexts
 
   [[nodiscard]] bool stream_mode() const {
     return fault_stream > 0 || !fault_stream_file.empty();
@@ -145,6 +160,7 @@ struct Options {
                "       [--fail-procs N,...] [--fault-sweep K] [--fault-seed S]\n"
                "       [--fault-stream K] [--fault-stream-file FILE]\n"
                "       [--metrics table|csv|json|prom] [--trace-out FILE]\n"
+               "       [--serve] [--serve-batch N] [--serve-cache N]\n"
                "  --search picks the order-search strategy and --iters its\n"
                "  order-evaluation budget (--restarts N is a legacy alias for\n"
                "  --search restart --iters N); --seed makes search runs\n"
@@ -158,7 +174,10 @@ struct Options {
                "  random fault events mid-execution (--fault-stream-file FILE loads\n"
                "  the timeline from a JSONL file instead), replanning incrementally\n"
                "  and warm-started at every event; --metrics prints a metrics report\n"
-               "  to stderr and --trace-out writes a chrome://tracing phase trace.\n";
+               "  to stderr and --trace-out writes a chrome://tracing phase trace;\n"
+               "  --serve reads JSONL plan requests from stdin and emits JSONL\n"
+               "  results (one long-lived process, shared plan-context cache) and\n"
+               "  cannot be combined with the one-shot options.\n";
   std::exit(2);
 }
 
@@ -169,8 +188,9 @@ Options parse_args(int argc, char** argv) {
       "soc",  "soc-file", "cpu",  "procs",   "power",  "policy", "choice", "search",
       "iters", "restarts", "seed", "jobs", "wrapper", "format", "mesh",
       "fail-links", "fail-routers", "fail-procs", "fault-sweep", "fault-seed",
-      "fault-stream", "fault-stream-file", "metrics", "trace-out"};
-  static const std::set<std::string> flag_keys = {"simulate"};
+      "fault-stream", "fault-stream-file", "metrics", "trace-out",
+      "serve-batch", "serve-cache"};
+  static const std::set<std::string> flag_keys = {"simulate", "serve"};
 
   Options opt;
   std::map<std::string, std::string> kv;
@@ -265,6 +285,14 @@ Options parse_args(int argc, char** argv) {
     } else if (key == "trace-out") {
       ensure(!value.empty(), "--trace-out expects a file path");
       opt.trace_out = value;
+    } else if (key == "serve") {
+      opt.serve = true;
+    } else if (key == "serve-batch") {
+      opt.serve_batch = parse_u64(value, "--serve-batch");
+      ensure(opt.serve_batch > 0, "--serve-batch expects at least 1 request per batch");
+    } else if (key == "serve-cache") {
+      opt.serve_cache = parse_u64(value, "--serve-cache");
+      ensure(opt.serve_cache > 0, "--serve-cache expects at least 1 cached context");
     } else if (key == "wrapper") {
       opt.wrapper = static_cast<std::uint32_t>(parse_u64(value, "--wrapper"));
     } else if (key == "format") {
@@ -305,6 +333,20 @@ Options parse_args(int argc, char** argv) {
   ensure(!(opt.fault_seed.has_value() && opt.fault_sweep == 0 && opt.fault_stream == 0),
          "--fault-seed only seeds generated scenarios (--fault-sweep or --fault-stream); "
          "it has no effect without one of them");
+  if (opt.serve) {
+    // The server reads every per-request knob from the JSONL stream; a
+    // one-shot flag alongside --serve has no single meaning, so reject
+    // anything that is not about the server process itself.
+    static const std::set<std::string> serve_keys = {"serve",   "serve-batch", "serve-cache",
+                                                     "jobs",    "metrics",     "trace-out"};
+    for (const auto& [key, value] : kv) {
+      ensure(serve_keys.count(key) != 0, "--serve reads plan requests from stdin and "
+             "cannot be combined with --", key, " (put it in the request objects)");
+    }
+  } else {
+    ensure(kv.count("serve-batch") == 0 && kv.count("serve-cache") == 0,
+           "--serve-batch/--serve-cache only configure the --serve loop");
+  }
   return opt;
 }
 
@@ -349,28 +391,45 @@ noc::FaultSet build_fault_set(const Options& opt, const core::SystemModel& sys) 
   return faults;
 }
 
-core::SystemModel build_system(const Options& opt, const core::PlannerParams& params) {
-  if (opt.soc_file.empty()) {
-    return core::SystemModel::paper_system(opt.soc, opt.cpu, opt.procs, params);
+/// The engine-facing name for the system this invocation plans.  System
+/// construction itself lives behind engine::ContextCache (one shared
+/// path for the CLI, the server, and the benches).
+engine::SystemSpec build_spec(const Options& opt) {
+  engine::SystemSpec spec;
+  spec.soc = opt.soc;
+  spec.soc_file = opt.soc_file;
+  spec.cpu = opt.cpu;
+  spec.procs = opt.procs;
+  spec.mesh_cols = opt.mesh_cols;
+  spec.mesh_rows = opt.mesh_rows;
+  spec.params = core::PlannerParams::paper();
+  spec.params.priority = opt.policy;
+  spec.params.resource_choice = opt.choice;
+  spec.params.wrapper_chains = opt.wrapper;
+  return spec;
+}
+
+/// The one-shot flags as a single PlanRequest (faults stay CLI-side:
+/// the fault modes need the pristine plan plus reports the engine
+/// doesn't produce, so they run as separate steps in run()).
+engine::PlanRequest build_request(const Options& opt) {
+  engine::PlanRequest request;
+  request.id = "cli";
+  // origin stays empty: execution errors reach stderr exactly as the
+  // pre-engine CLI printed them, with no "<source>:<line>: " prefix.
+  request.system = build_spec(opt);
+  request.power_pct = opt.power_pct;
+  if (opt.restarts > 0) {
+    request.strategy = search::StrategyKind::kRestart;
+    request.iters = opt.restarts;
+  } else {
+    request.strategy = opt.strategy;
+    request.iters = opt.iters;
   }
-  itc02::Soc soc = itc02::load_file(opt.soc_file);
-  soc = itc02::with_processors(std::move(soc), opt.cpu, opt.procs);
-  noc::Mesh mesh = opt.mesh_cols > 0 ? noc::Mesh(opt.mesh_cols, opt.mesh_rows)
-                                     : [&] {
-                                         // Smallest square mesh that fits one
-                                         // module per router where possible.
-                                         int side = 1;
-                                         while (side * side <
-                                                static_cast<int>(soc.modules.size())) {
-                                           ++side;
-                                         }
-                                         return noc::Mesh(side, side);
-                                       }();
-  auto placement = core::default_placement(soc, mesh);
-  const noc::RouterId in = core::default_ate_input(mesh);
-  const noc::RouterId out = core::default_ate_output(mesh);
-  return core::SystemModel(std::move(soc), std::move(mesh), std::move(placement), in, out,
-                           params);
+  request.seed = opt.seed;
+  request.search_jobs = opt.jobs;
+  request.simulate = opt.simulate;
+  return request;
 }
 
 /// One explicit fault scenario: replay the pristine plan degraded,
@@ -402,10 +461,10 @@ int run_fault_scenario(const Options& opt, const core::SystemModel& sys,
 /// incremental (apply_faults) replan, reported one row each.
 int run_fault_sweep(const Options& opt, const core::SystemModel& sys,
                     const power::PowerBudget& budget, const core::Schedule& schedule,
-                    const search::SearchOptions& ropts, bool all) {
+                    const core::PairTable& pristine, const search::SearchOptions& ropts,
+                    bool all) {
   ensure(opt.format != "gantt", "--fault-sweep supports --format table|csv|json|all");
   const std::uint64_t fault_seed = opt.fault_seed.value_or(0xFA017);
-  const core::PairTable pristine(sys);
   // One unchanged plan, one baseline replay: every scenario is judged
   // against it (re-simulating the pristine trace K times buys nothing).
   const des::SimTrace baseline = des::replay(sys, schedule);
@@ -511,18 +570,19 @@ int run_fault_stream(const Options& opt, const core::SystemModel& sys,
 }
 
 int run(const Options& opt) {
-  core::PlannerParams params = core::PlannerParams::paper();
-  params.priority = opt.policy;
-  params.resource_choice = opt.choice;
-  params.wrapper_chains = opt.wrapper;
+  if (opt.serve) {
+    engine::ServeOptions sopts;
+    sopts.batch = static_cast<std::size_t>(opt.serve_batch);
+    sopts.cache_capacity = static_cast<std::size_t>(opt.serve_cache);
+    sopts.jobs = opt.jobs;
+    return engine::serve(std::cin, std::cout, sopts);
+  }
 
-  const core::SystemModel sys = [&] {
-    const obs::Span span("parse");
-    return build_system(opt, params);
-  }();
-  const power::PowerBudget budget =
-      opt.power_pct ? power::PowerBudget::fraction_of_total(sys.soc(), *opt.power_pct / 100.0)
-                    : power::PowerBudget::unconstrained();
+  // One-shot modes: one PlanRequest through the engine (which owns the
+  // parse/build/plan/validate pipeline), then CLI-side formatting.
+  engine::Engine eng(engine::EngineOptions{/*cache_capacity=*/1, opt.jobs});
+  const engine::PlanResult res = eng.run(build_request(opt));
+  if (!res.ok) fail(res.error);
 
   const bool all = opt.format == "all";
   if (opt.format != "table" && opt.format != "gantt" && opt.format != "csv" &&
@@ -530,33 +590,20 @@ int run(const Options& opt) {
     fail("unknown --format '", opt.format, "'");
   }
 
-  // Search runs when any of --search/--iters/--restarts asks for it;
-  // --restarts N is the legacy spelling of --search restart --iters N.
-  const bool searching = opt.strategy.has_value() || opt.iters.has_value() || opt.restarts > 0;
-  core::Schedule schedule;
-  std::optional<obs::MetricsSnapshot> search_metrics;
-  {
-    const obs::Span span("plan");
-    if (searching) {
-      search::SearchOptions options;
-      options.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
-      options.iters = opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256);
-      options.seed = opt.seed;
-      options.jobs = opt.jobs;
-      search::SearchResult result = search::search_orders(sys, budget, options);
-      schedule = std::move(result.best);
-      search_metrics = std::move(result.metrics);
-      std::cerr << report::search_summary(*search_metrics);
-    } else {
-      schedule = core::plan_tests(sys, budget);
-    }
-  }
-  sim::validate_or_throw(sys, schedule);
+  const core::SystemModel& sys = res.context->system();
+  const core::Schedule& schedule = res.schedule;
+  if (res.search_metrics) std::cerr << report::search_summary(*res.search_metrics);
 
   if (opt.fault_mode()) {
+    const power::PowerBudget budget =
+        opt.power_pct
+            ? power::PowerBudget::fraction_of_total(sys.soc(), *opt.power_pct / 100.0)
+            : power::PowerBudget::unconstrained();
     // The replan inherits the pristine run's search configuration, so
     // a searched plan is replanned with the same effort (a plain
     // greedy run replans greedily).
+    const bool searching =
+        opt.strategy.has_value() || opt.iters.has_value() || opt.restarts > 0;
     search::SearchOptions ropts;
     ropts.strategy = opt.strategy.value_or(search::StrategyKind::kRestart);
     ropts.iters = searching ? opt.iters.value_or(opt.restarts > 0 ? opt.restarts : 256) : 0;
@@ -566,16 +613,14 @@ int run(const Options& opt) {
       return run_fault_stream(opt, sys, budget, schedule, ropts, all);
     }
     return opt.fault_sweep > 0
-               ? run_fault_sweep(opt, sys, budget, schedule, ropts, all)
+               ? run_fault_sweep(opt, sys, budget, schedule, res.context->pristine_pairs(),
+                                 ropts, all)
                : run_fault_scenario(opt, sys, budget, schedule, ropts, all);
   }
 
   if (opt.simulate) {
-    const des::SimTrace trace = des::replay(sys, schedule);
-    const sim::CrossCheckReport check = [&] {
-      const obs::Span span("cross_check");
-      return sim::cross_check(sys, schedule, trace);
-    }();
+    const des::SimTrace& trace = *res.trace;
+    const sim::CrossCheckReport& check = *res.cross_check;
     if (opt.format == "table" || all) {
       std::cout << report::trace_table(sys, trace, check);
     }
@@ -614,7 +659,7 @@ int run(const Options& opt) {
   }
   if (opt.format == "json" || all) {
     std::cout << report::schedule_json(sys, schedule,
-                                       search_metrics ? &*search_metrics : nullptr);
+                                       res.search_metrics ? &*res.search_metrics : nullptr);
   }
   return 0;
 }
